@@ -1,0 +1,46 @@
+"""Ablation: block I/O as a function of the memory budget M.
+
+Theorem 3's I/O bound is ``O((m/M + kmax) · scan(|G|))``: halving M
+roughly doubles the partition count and hence the LowerBounding scans.
+This sweep measures total block I/O at M = |G|/2, |G|/4, |G|/8 and
+asserts the monotone trend.
+"""
+
+import pytest
+
+from repro.core import truss_decomposition_bottomup, truss_decomposition_improved
+from repro.datasets import load_dataset
+from repro.exio import IOStats, MemoryBudget
+
+DATASET = "p2p"
+FRACTIONS = (2, 4, 8)
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_bottomup_under_budget(benchmark, fraction, small_scale):
+    g = load_dataset(DATASET, scale=small_scale)
+    budget = MemoryBudget(units=max(16, g.size // fraction))
+    stats = IOStats()
+    td = benchmark.pedantic(
+        lambda: truss_decomposition_bottomup(g, budget=budget, stats=stats),
+        rounds=1,
+        iterations=1,
+    )
+    assert td == truss_decomposition_improved(g)
+    benchmark.extra_info.update(
+        budget_units=budget.units, block_ios=stats.total_blocks
+    )
+
+
+def test_io_grows_as_memory_shrinks(small_scale):
+    g = load_dataset(DATASET, scale=small_scale)
+    ios = {}
+    for fraction in FRACTIONS:
+        stats = IOStats()
+        truss_decomposition_bottomup(
+            g,
+            budget=MemoryBudget(units=max(16, g.size // fraction)),
+            stats=stats,
+        )
+        ios[fraction] = stats.total_blocks
+    assert ios[2] < ios[8], ios

@@ -1,0 +1,59 @@
+"""Ablation: the three Chu-Cheng partitioning strategies.
+
+The paper (Section 5.1) says any of the three partitioners can drive
+LowerBounding.  This ablation verifies the result is partitioner-
+independent and compares their I/O and iteration counts.
+"""
+
+import pytest
+
+from repro.bench import external_budget
+from repro.core import truss_decomposition_bottomup, truss_decomposition_improved
+from repro.datasets import load_dataset
+from repro.exio import IOStats
+from repro.partition import (
+    DominatingSetPartitioner,
+    RandomizedPartitioner,
+    SequentialPartitioner,
+)
+
+PARTITIONERS = {
+    "sequential": SequentialPartitioner(),
+    "dominating": DominatingSetPartitioner(),
+    "randomized": RandomizedPartitioner(seed=17),
+}
+DATASET = "p2p"
+
+
+@pytest.mark.parametrize("pname", sorted(PARTITIONERS), ids=str)
+def test_bottomup_partitioner(benchmark, pname, small_scale):
+    g = load_dataset(DATASET, scale=small_scale)
+    stats = IOStats()
+    td = benchmark.pedantic(
+        lambda: truss_decomposition_bottomup(
+            g,
+            budget=external_budget(g),
+            partitioner=PARTITIONERS[pname],
+            stats=stats,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert td == truss_decomposition_improved(g)
+    benchmark.extra_info.update(
+        block_ios=stats.total_blocks,
+        lowerbound_iterations=td.stats.extra["lowerbound_iterations"],
+        blocks=td.stats.extra["lowerbound_blocks"],
+    )
+
+
+def test_partitioners_agree(small_scale):
+    g = load_dataset(DATASET, scale=small_scale)
+    results = {
+        name: truss_decomposition_bottomup(
+            g, budget=external_budget(g), partitioner=part
+        )
+        for name, part in PARTITIONERS.items()
+    }
+    first = next(iter(results.values()))
+    assert all(td == first for td in results.values())

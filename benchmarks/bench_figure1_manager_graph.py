@@ -1,0 +1,42 @@
+"""Figure 1 / Example 1: the 21-manager graph, 3-core vs 4-truss.
+
+Regenerates the figure's quantitative content: subgraph sizes and
+clustering coefficients (paper: CC = 0.51 / 0.65 / 0.80), the named
+4-cliques surviving in the 4-truss, and the absence of a 4-core and a
+5-truss.
+"""
+
+from repro.bench import figure1_rows
+from repro.core import truss_decomposition_improved
+from repro.cores import average_clustering, k_core, max_core
+from repro.datasets import MANAGER_CLIQUES, clique_union_edges, manager_graph
+
+
+def test_figure1_pipeline(benchmark):
+    rows = benchmark.pedantic(figure1_rows, rounds=1, iterations=1)
+    by_label = {r["subgraph"]: r for r in rows}
+    assert by_label["G"]["|V|"] == 21
+    # measured CC within 0.05 of the paper's figures
+    for label in ("G", "3-core", "4-truss"):
+        assert abs(by_label[label]["CC"] - by_label[label]["paper CC"]) < 0.05
+    # ordering claim
+    assert by_label["G"]["CC"] < by_label["3-core"]["CC"] < by_label["4-truss"]["CC"]
+
+
+def test_figure1_structure(benchmark):
+    g = manager_graph()
+
+    def run():
+        td = truss_decomposition_improved(g)
+        cmax, _ = max_core(g)
+        return td, cmax
+
+    td, cmax = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert td.kmax == 4            # no 5-truss
+    assert cmax == 3               # no 4-core
+    assert sorted(td.k_truss(4).edges()) == clique_union_edges()
+    t4 = td.k_truss(4)
+    for clique in MANAGER_CLIQUES:  # all five named cliques survive
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert t4.has_edge(clique[i], clique[j])

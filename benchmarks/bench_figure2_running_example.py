@@ -1,0 +1,36 @@
+"""Figure 2 / Example 2: the running example's k-classes, all methods.
+
+The one graph whose decomposition the paper states edge-by-edge; every
+algorithm must regenerate it exactly, so this doubles as the smallest
+end-to-end benchmark of each code path.
+"""
+
+import pytest
+
+from repro.bench import figure2_rows
+from repro.core import truss_decomposition
+from repro.datasets import RUNNING_EXAMPLE_CLASSES, running_example_graph
+from repro.exio import MemoryBudget
+
+
+def test_figure2_rows(benchmark):
+    rows = benchmark.pedantic(figure2_rows, rounds=1, iterations=1)
+    assert all(r["match"] for r in rows)
+    assert [r["k"] for r in rows] == [2, 3, 4, 5]
+
+
+@pytest.mark.parametrize(
+    "method", ["improved", "baseline", "bottomup", "topdown", "mapreduce"]
+)
+def test_figure2_every_method(benchmark, method):
+    g = running_example_graph()
+    kwargs = {}
+    if method in ("bottomup", "topdown"):
+        kwargs["memory_budget"] = MemoryBudget(units=16)
+    td = benchmark.pedantic(
+        lambda: truss_decomposition(g, method=method, **kwargs),
+        rounds=1,
+        iterations=1,
+    )
+    for k, edges in RUNNING_EXAMPLE_CLASSES.items():
+        assert sorted(td.k_class(k)) == sorted(edges), f"{method} Phi_{k}"

@@ -1,0 +1,116 @@
+"""Table 4: TD-bottomup vs TD-MR (Cohen's MapReduce algorithm).
+
+The paper's headline: TD-MR is at least 3 orders of magnitude slower
+and only ever finished on the two smallest datasets (P2P, HEP), while
+TD-bottomup handles the massive three on one machine.  Shape claims:
+
+* on the datasets where both run, TD-bottomup wins by a wide margin;
+* TD-bottomup completes the massive datasets under a memory budget a
+  quarter of the graph size (TD-MR is not even attempted — as in the
+  paper's '-' cells);
+* TD-MR's cost drivers (MR rounds, shuffled records) dwarf the
+  bottom-up block I/O count.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import external_budget
+from repro.core import (
+    truss_decomposition_bottomup,
+    truss_decomposition_improved,
+    truss_decomposition_mapreduce,
+)
+from repro.datasets import MASSIVE_DATASETS, SMALL_DATASETS, load_dataset
+from repro.exio import IOStats
+from repro.mapreduce import LocalMRRuntime
+
+
+@pytest.mark.parametrize("name", SMALL_DATASETS)
+def test_td_bottomup_small(benchmark, name, small_scale):
+    g = load_dataset(name, scale=small_scale)
+    stats = IOStats()
+    td = benchmark.pedantic(
+        lambda: truss_decomposition_bottomup(
+            g, budget=external_budget(g), stats=stats
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(kmax=td.kmax, block_ios=stats.total_blocks)
+
+
+@pytest.mark.parametrize("name", SMALL_DATASETS)
+def test_td_mapreduce_small(benchmark, name, small_scale, tmp_path):
+    g = load_dataset(name, scale=small_scale)
+    reference = truss_decomposition_improved(g)
+    mr_io = IOStats()
+    runtime = LocalMRRuntime(num_reducers=8, spill_dir=tmp_path, io_stats=mr_io)
+    td = benchmark.pedantic(
+        lambda: truss_decomposition_mapreduce(g, runtime=runtime),
+        rounds=1,
+        iterations=1,
+    )
+    assert td == reference
+    benchmark.extra_info.update(
+        mr_rounds=runtime.counters.rounds,
+        shuffle_records=runtime.counters.shuffle_records,
+        block_ios=mr_io.total_blocks,
+    )
+
+
+@pytest.mark.parametrize("name", MASSIVE_DATASETS)
+def test_td_bottomup_massive(benchmark, name, scale):
+    """The paper's point: the massive datasets are bottom-up-only."""
+    g = load_dataset(name, scale=scale * 0.5)
+    budget = external_budget(g)
+    stats = IOStats()
+    td = benchmark.pedantic(
+        lambda: truss_decomposition_bottomup(g, budget=budget, stats=stats),
+        rounds=1,
+        iterations=1,
+    )
+    assert td == truss_decomposition_improved(g)
+    benchmark.extra_info.update(
+        kmax=td.kmax,
+        block_ios=stats.total_blocks,
+        budget_units=budget.units,
+        graph_units=g.size,
+    )
+
+
+def test_table4_shape_claims(small_scale, tmp_path):
+    """TD-bottomup beats TD-MR wherever both can run.
+
+    The paper reports >= 3 orders of magnitude on a real Hadoop cluster
+    (per-job JVM/scheduling overhead included); our in-process MR
+    runtime only pays the algorithmic costs — repeated triangle rounds
+    and per-round materialization — so the asserted margin is the
+    conservative one those costs alone guarantee.  The gap must widen
+    with kmax (hep) since every extra level re-runs the pipeline.
+    """
+    ratios = {}
+    io_ratios = {}
+    for name in SMALL_DATASETS:
+        g = load_dataset(name, scale=small_scale)
+        bu_io = IOStats()
+        t0 = time.perf_counter()
+        bu = truss_decomposition_bottomup(
+            g, budget=external_budget(g), stats=bu_io
+        )
+        t_bu = time.perf_counter() - t0
+        mr_io = IOStats()
+        runtime = LocalMRRuntime(
+            num_reducers=8, spill_dir=tmp_path / name, io_stats=mr_io
+        )
+        t0 = time.perf_counter()
+        mr = truss_decomposition_mapreduce(g, runtime=runtime)
+        t_mr = time.perf_counter() - t0
+        assert bu == mr
+        ratios[name] = t_mr / max(t_bu, 1e-9)
+        io_ratios[name] = mr_io.total_blocks / max(bu_io.total_blocks, 1)
+        assert ratios[name] > 1.2, f"{name}: MR {t_mr:.2f}s vs bottomup {t_bu:.2f}s"
+    # the high-kmax dataset multiplies MR's iteration penalty
+    assert ratios["hep"] > 2.5, ratios
+    assert io_ratios["hep"] > 4, io_ratios

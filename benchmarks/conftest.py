@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark suite.
+
+``REPRO_BENCH_SCALE`` scales every dataset (default 0.5: a full run of
+all tables in a few minutes).  Scale 1.0 reproduces the numbers in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale(default: float) -> float:
+    """The dataset scale for benchmark runs (env-overridable)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale(0.5)
+
+
+@pytest.fixture(scope="session")
+def small_scale() -> float:
+    """Scale for experiments involving the TD-MR strawman."""
+    return bench_scale(0.5) * 0.5

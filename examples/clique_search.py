@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Truss-accelerated clique search (Section 7.4's application).
+
+The paper closes its evaluation arguing that k-truss beats k-core as a
+pre-filter for clique problems: a c-clique must live inside T_c, which
+is usually far smaller than the (c-1)-core.  This example measures both
+filters on a noisy graph with a planted community and then finds the
+maximum clique through the truss hierarchy.
+
+Usage::
+
+    python examples/clique_search.py [--n 3000] [--clique 12]
+"""
+
+import argparse
+import time
+
+from repro.cliques import (
+    clique_search_report,
+    cliques_of_size_at_least,
+    maximum_clique,
+    maximum_clique_truss_pruned,
+)
+from repro.core import truss_decomposition
+from repro.datasets import plant_biclique, plant_clique, powerlaw_graph
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=3000)
+    parser.add_argument("--m", type=int, default=9000)
+    parser.add_argument("--clique", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    g = powerlaw_graph(args.n, args.m, exponent=2.2, seed=args.seed)
+    planted = sorted(plant_clique(g, args.clique, seed=args.seed + 1))
+    plant_biclique(g, 20, seed=args.seed + 2)  # a core-inflating distractor
+    print(f"graph: n={g.num_vertices:,} m={g.num_edges:,}; "
+          f"planted K{args.clique} on {planted}\n")
+
+    td = truss_decomposition(g)
+    report = clique_search_report(g, args.clique, decomposition=td)
+    print(f"searching for cliques of size >= {args.clique}:")
+    print(f"  whole graph:            {report.graph_edges:>8,} edges")
+    print(f"  ({args.clique - 1})-core filter:        "
+          f"{report.core_edges:>8,} edges")
+    print(f"  {args.clique}-truss filter:        "
+          f"{report.truss_edges:>8,} edges "
+          f"({report.truss_vs_core_reduction:.1%} of the core)")
+    print(f"  max-clique bound: core gives <= {report.max_clique_bound_core}, "
+          f"truss gives <= {report.max_clique_bound_truss}\n")
+
+    found = cliques_of_size_at_least(g, args.clique, decomposition=td)
+    print(f"maximal cliques of size >= {args.clique}: "
+          f"{[c for c in found]}")
+
+    t0 = time.perf_counter()
+    best_direct = maximum_clique(g)
+    t_direct = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    best_pruned = maximum_clique_truss_pruned(g, decomposition=td)
+    t_pruned = time.perf_counter() - t0
+    assert len(best_direct) == len(best_pruned)
+    print(f"\nmaximum clique ({len(best_pruned)} vertices): {best_pruned}")
+    print(f"  direct Bron-Kerbosch: {t_direct:6.2f}s")
+    print(f"  truss-pruned search:  {t_pruned:6.2f}s "
+          "(decomposition reused across queries)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""k-truss vs k-core as community-core detectors (Section 7.4 style).
+
+Generates a social-style network with a planted tight community (a
+clique) and a dense-but-incoherent hub region (a biclique), then
+compares what the maximum core and the maximum truss each "find".  The
+truss lands on the genuine community; the core is distracted by the
+triangle-free dense region — the paper's Table 6 argument, runnable.
+
+Usage::
+
+    python examples/community_cores.py [--n 4000] [--clique 24] [--biclique 30]
+"""
+
+import argparse
+
+from repro import max_core, truss_decomposition
+from repro.cores import average_clustering
+from repro.datasets import plant_biclique, plant_clique, powerlaw_graph
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=4000, help="background vertices")
+    parser.add_argument("--m", type=int, default=12000, help="background edges")
+    parser.add_argument("--clique", type=int, default=24, help="planted community size")
+    parser.add_argument("--biclique", type=int, default=30, help="planted biclique side")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    g = powerlaw_graph(args.n, args.m, exponent=2.3, seed=args.seed)
+    community = set(plant_clique(g, args.clique, seed=args.seed + 1))
+    noise = set(plant_biclique(g, args.biclique, seed=args.seed + 2))
+    print(f"graph: n={g.num_vertices} m={g.num_edges}")
+    print(f"planted community (clique K{args.clique}): {len(community)} vertices")
+    print(f"planted distractor (biclique K{{{args.biclique},{args.biclique}}}): "
+          f"{len(noise)} vertices\n")
+
+    td = truss_decomposition(g)
+    kmax, t = td.max_truss()
+    cmax, c = max_core(g)
+
+    def overlap(sub, target):
+        verts = set(sub.vertices())
+        return len(verts & target) / max(len(verts), 1)
+
+    print(f"{'':14s}{'kmax-truss':>12s}{'cmax-core':>12s}")
+    print(f"{'k / c':14s}{kmax:>12d}{cmax:>12d}")
+    print(f"{'|V|':14s}{t.num_vertices:>12d}{c.num_vertices:>12d}")
+    print(f"{'|E|':14s}{t.num_edges:>12d}{c.num_edges:>12d}")
+    print(f"{'clustering':14s}{average_clustering(t):>12.3f}"
+          f"{average_clustering(c):>12.3f}")
+    print(f"{'% community':14s}{overlap(t, community):>12.1%}"
+          f"{overlap(c, community):>12.1%}")
+    print(f"{'% distractor':14s}{overlap(t, noise):>12.1%}"
+          f"{overlap(c, noise):>12.1%}")
+    print("\nThe truss recovers the planted community almost purely; the core "
+          "is dominated\nby the triangle-free biclique — degree alone cannot "
+          "tell cohesion from bulk.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""TD-bottomup under a memory budget: watching the (M, B) model work.
+
+Decomposes one of the "massive" stand-in datasets with progressively
+smaller simulated memory, reporting block I/O, LowerBounding
+iterations, and candidate-subgraph sizes — the quantities behind the
+paper's Theorem 3 bound ``O((m/M + kmax) · scan(|G|))``.
+
+Usage::
+
+    python examples/external_memory_demo.py [--dataset lj] [--scale 0.2]
+"""
+
+import argparse
+import time
+
+from repro import MemoryBudget, IOStats, truss_decomposition
+from repro.datasets import load_dataset
+
+
+def run_with_budget(g, fraction: int) -> None:
+    budget = MemoryBudget(units=max(16, g.size // fraction))
+    stats = IOStats()
+    start = time.perf_counter()
+    td = truss_decomposition(
+        g, method="bottomup", memory_budget=budget, io_stats=stats
+    )
+    elapsed = time.perf_counter() - start
+    extra = td.stats.extra
+    print(
+        f"M = |G|/{fraction:<2d} ({budget.units:>8,} units): "
+        f"{elapsed:6.1f}s  kmax={td.kmax:<4d} "
+        f"blocks R/W = {stats.blocks_read:>7,}/{stats.blocks_written:>6,}  "
+        f"LB iters = {int(extra['lowerbound_iterations'])}  "
+        f"max |H| = {int(extra['max_candidate_size']):,}"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="lj", help="registry dataset name")
+    parser.add_argument("--scale", type=float, default=0.2)
+    args = parser.parse_args()
+
+    g = load_dataset(args.dataset, scale=args.scale)
+    print(f"dataset {args.dataset} @ scale {args.scale}: "
+          f"n={g.num_vertices:,} m={g.num_edges:,} (|G| = {g.size:,} units)\n")
+    print("shrinking the simulated memory — I/O grows as Theorem 3 predicts:\n")
+    for fraction in (1, 2, 4, 8):
+        run_with_budget(g, fraction)
+    print("\nEvery run produces the identical decomposition; only the I/O "
+          "schedule changes.")
+
+
+if __name__ == "__main__":
+    main()

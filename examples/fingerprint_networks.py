@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Fingerprinting networks by their truss hierarchy.
+
+The introduction of the paper proposes k-trusses for "visualization and
+fingerprinting of large-scale networks": the profile of |T_k| against k
+is a compact structural signature.  This example prints side-by-side
+profiles of three structurally different stand-in datasets — the P2P
+network collapses immediately (no community structure), the
+collaboration network decays in steps (paper-team cliques), and the web
+crawl holds a deep dense core.
+
+Usage::
+
+    python examples/fingerprint_networks.py [--scale 0.15]
+"""
+
+import argparse
+
+from repro.core import truss_hierarchy
+from repro.datasets import load_dataset
+
+DATASETS = ("p2p", "hep", "web")
+
+
+def bar(value: int, total: int, width: int = 40) -> str:
+    filled = int(width * value / total) if total else 0
+    return "#" * filled
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.15)
+    args = parser.parse_args()
+
+    for name in DATASETS:
+        g = load_dataset(name, scale=args.scale)
+        h = truss_hierarchy(g)
+        print(f"\n=== {name}  (n={g.num_vertices:,} m={g.num_edges:,}, "
+              f"kmax={h.kmax}, collapse at k={h.collapse_level()}) ===")
+        total = h.levels[0].num_edges if h.levels else 0
+        shown = 0
+        for row in h.levels:
+            # print the first levels and then every power-of-two-ish step
+            if row.k > 8 and row.k not in (16, 32, 64, h.kmax):
+                continue
+            shown += 1
+            print(f"  k={row.k:<4d} |E|={row.num_edges:>8,}  "
+                  f"{bar(row.num_edges, total)}")
+        if shown < len(h.levels):
+            print(f"  ... ({len(h.levels) - shown} more levels)")
+    print(
+        "\nThe edge-count-vs-k curve is the fingerprint: flat-then-cliff for "
+        "P2P,\nstaircase for collaboration, long tail for the web crawl."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Why MapReduce loses at truss decomposition (the Table 4 story).
+
+Runs Cohen's TD-MR pipeline on a small graph next to TD-bottomup and
+prints the cluster-cost counters: MR job rounds, shuffled records and
+bytes.  The iterative peeling forces a fresh triangle enumeration per
+round — visible directly in the counters.
+
+Usage::
+
+    python examples/mapreduce_demo.py [--scale 0.05]
+"""
+
+import argparse
+import tempfile
+import time
+from pathlib import Path
+
+from repro import IOStats, MemoryBudget
+from repro.core import truss_decomposition_bottomup, truss_decomposition_mapreduce
+from repro.datasets import load_dataset
+from repro.mapreduce import LocalMRRuntime
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="hep")
+    parser.add_argument("--scale", type=float, default=0.2)
+    args = parser.parse_args()
+
+    g = load_dataset(args.dataset, scale=args.scale)
+    print(f"dataset {args.dataset}: n={g.num_vertices:,} m={g.num_edges:,}\n")
+
+    spill = tempfile.mkdtemp(prefix="mr-spill-")
+    mr_io = IOStats()
+    runtime = LocalMRRuntime(
+        num_reducers=8, spill_dir=Path(spill), io_stats=mr_io
+    )
+    start = time.perf_counter()
+    mr = truss_decomposition_mapreduce(g, runtime=runtime)
+    t_mr = time.perf_counter() - start
+
+    stats = IOStats()
+    start = time.perf_counter()
+    bu = truss_decomposition_bottomup(
+        g, budget=MemoryBudget(units=max(16, g.size // 4)), stats=stats
+    )
+    t_bu = time.perf_counter() - start
+    assert mr == bu, "the two methods must agree"
+
+    c = runtime.counters
+    print(f"TD-MR       : {t_mr:7.2f}s  "
+          f"{c.rounds} MR rounds, {c.shuffle_records:,} shuffled records "
+          f"({c.shuffle_bytes/1e6:.1f} MB over the wire, "
+          f"{mr_io.total_blocks:,} block I/Os)")
+    print(f"TD-bottomup : {t_bu:7.2f}s  "
+          f"{stats.total_blocks:,} block I/Os "
+          f"({stats.total_bytes/1e6:.1f} MB to disk)")
+    print(f"\nslowdown: {t_mr / max(t_bu, 1e-9):.1f}x — every peeling level "
+          "relaunches the whole triangle pipeline,")
+    print("which is the paper's explanation for TD-MR's 3-orders-of-magnitude "
+          "deficit on a real cluster.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: truss decomposition on the paper's own graphs.
+
+Runs the improved in-memory algorithm (TD-inmem+) on the running
+example of Figure 2 and on the 21-manager graph of Figure 1, printing
+the k-classes and extracting k-trusses — the 60-second tour of the
+public API.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import Graph, k_truss, truss_decomposition
+from repro.cores import average_clustering, k_core
+from repro.datasets import manager_graph, running_example_graph, vname
+
+
+def tiny_graph_demo() -> None:
+    print("=== A 4-clique with a pendant edge ===")
+    g = Graph([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 99)])
+    td = truss_decomposition(g)
+    print(f"kmax = {td.kmax}")
+    for k, edges in sorted(td.k_classes().items()):
+        print(f"  Phi_{k}: {edges}")
+    t4 = k_truss(g, 4)
+    print(f"4-truss: {t4.num_vertices} vertices, {t4.num_edges} edges\n")
+
+
+def running_example_demo() -> None:
+    print("=== Figure 2: the paper's running example ===")
+    g = running_example_graph()
+    td = truss_decomposition(g)
+    print(f"n={g.num_vertices} m={g.num_edges} kmax={td.kmax}")
+    for k, edges in sorted(td.k_classes().items()):
+        named = ", ".join(f"({vname(u)},{vname(v)})" for u, v in edges)
+        print(f"  Phi_{k} ({len(edges):2d} edges): {named}")
+    print()
+
+
+def manager_graph_demo() -> None:
+    print("=== Figure 1: the 21-manager advice network ===")
+    g = manager_graph()
+    td = truss_decomposition(g)
+    c3 = k_core(g, 3)
+    t4 = td.k_truss(4)
+    print(f"G:       n={g.num_vertices:2d} m={g.num_edges:2d} "
+          f"CC={average_clustering(g):.2f}   (paper: 0.51)")
+    print(f"3-core:  n={c3.num_vertices:2d} m={c3.num_edges:2d} "
+          f"CC={average_clustering(c3):.2f}   (paper: 0.65)")
+    print(f"4-truss: n={t4.num_vertices:2d} m={t4.num_edges:2d} "
+          f"CC={average_clustering(t4):.2f}   (paper: 0.80)")
+    print(f"no 5-truss exists (kmax = {td.kmax}); the 4-truss keeps only "
+          "the tightly-knit cliques")
+
+
+if __name__ == "__main__":
+    tiny_graph_demo()
+    running_example_demo()
+    manager_graph_demo()

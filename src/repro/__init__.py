@@ -1,0 +1,58 @@
+"""repro — Truss Decomposition in Massive Networks (VLDB 2012).
+
+A full reproduction of Wang & Cheng's truss decomposition system:
+
+* the improved in-memory algorithm (**TD-inmem+**, Algorithm 2) and
+  Cohen's baseline (**TD-inmem**, Algorithm 1);
+* the I/O-efficient **bottom-up** (Algorithms 3-4) and **top-down**
+  (Algorithm 7) external-memory decompositions, with real spill files
+  and measured block I/O in the Aggarwal-Vitter (M, B) model;
+* Cohen's MapReduce baseline (**TD-MR**) on a local metered MR runtime;
+* every substrate those need: graph storage (in-memory + on-disk
+  adjacency), O(m^1.5) triangle engine, Chu-Cheng style partitioners,
+  external merge sort, k-core decomposition, dataset generators.
+
+Quickstart::
+
+    from repro import Graph, truss_decomposition
+
+    g = Graph([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (0, 3)])
+    td = truss_decomposition(g)
+    td.kmax                # 4: the graph is a 4-clique
+    td.k_truss(4).edges()  # the densest core
+"""
+
+from repro.core import (
+    TrussDecomposition,
+    k_truss,
+    top_t_classes,
+    truss_decomposition,
+    truss_hierarchy,
+    trussness,
+)
+from repro.cores import average_clustering, core_numbers, k_core, max_core
+from repro.errors import ReproError
+from repro.exio import IOStats, MemoryBudget
+from repro.graph import Graph, from_edges, read_edge_list
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "from_edges",
+    "read_edge_list",
+    "truss_decomposition",
+    "trussness",
+    "k_truss",
+    "top_t_classes",
+    "truss_hierarchy",
+    "TrussDecomposition",
+    "core_numbers",
+    "k_core",
+    "max_core",
+    "average_clustering",
+    "MemoryBudget",
+    "IOStats",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,71 @@
+"""ASCII table rendering for the benchmark harness.
+
+The experiment functions in :mod:`repro.bench.harness` return plain
+lists of dict rows; this module turns them into the fixed-width tables
+the benchmark runs print and EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_number(value: object) -> str:
+    """Human formatting: thousands separators for ints, 3 significant
+    decimals for floats, '-' for None (the paper's 'did not finish')."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: List[Dict[str, object]],
+    note: Optional[str] = None,
+) -> str:
+    """Render rows (dicts keyed by header) as a boxed ASCII table."""
+    cells = [[format_number(row.get(h)) for h in headers] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+
+    def line(sep: str = "-") -> str:
+        return "+" + "+".join(sep * (w + 2) for w in widths) + "+"
+
+    def fmt(values: Sequence[str]) -> str:
+        return "| " + " | ".join(v.ljust(w) for v, w in zip(values, widths)) + " |"
+
+    out = [title, line("="), fmt(headers), line("=")]
+    for r in cells:
+        out.append(fmt(r))
+    out.append(line())
+    if note:
+        out.append(note)
+    return "\n".join(out)
+
+
+def render_markdown(
+    headers: Sequence[str], rows: List[Dict[str, object]]
+) -> str:
+    """The same rows as a GitHub-flavoured markdown table."""
+    head = "| " + " | ".join(headers) + " |"
+    rule = "|" + "|".join("---" for _ in headers) + "|"
+    body = [
+        "| " + " | ".join(format_number(row.get(h)) for h in headers) + " |"
+        for row in rows
+    ]
+    return "\n".join([head, rule] + body)

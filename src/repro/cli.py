@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``decompose`` — truss-decompose an edge-list file with any method,
+  writing ``u v phi`` lines (or a summary);
+* ``ktruss``    — extract one k-truss as an edge list;
+* ``stats``     — graph statistics (the Table 2 row for your file);
+* ``hierarchy`` — the truss fingerprint profile;
+* ``generate``  — emit one of the registry's synthetic datasets.
+
+Every command reads/writes the SNAP-style text edge-list format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core import truss_decomposition, truss_hierarchy
+from repro.cores import GraphStatistics, average_clustering, max_core
+from repro.datasets import dataset_names, load_dataset
+from repro.exio import IOStats, MemoryBudget
+from repro.graph import Graph, read_edge_list, write_edge_list
+
+
+def _load(path: str) -> Graph:
+    g = read_edge_list(path)
+    print(
+        f"loaded {path}: n={g.num_vertices:,} m={g.num_edges:,}",
+        file=sys.stderr,
+    )
+    return g
+
+
+def _budget(g: Graph, fraction: Optional[int]) -> Optional[MemoryBudget]:
+    if fraction is None:
+        return None
+    return MemoryBudget(units=max(16, g.size // fraction))
+
+
+def cmd_decompose(args: argparse.Namespace) -> int:
+    g = _load(args.input)
+    stats = IOStats()
+    start = time.perf_counter()
+    td = truss_decomposition(
+        g,
+        method=args.method,
+        memory_budget=_budget(g, args.memory_fraction),
+        io_stats=stats if args.method in ("bottomup", "topdown") else None,
+        top_t=args.top,
+    )
+    elapsed = time.perf_counter() - start
+    out = open(args.output, "w") if args.output else sys.stdout
+    try:
+        for (u, v), k in sorted(td.trussness.items()):
+            print(f"{u} {v} {k}", file=out)
+    finally:
+        if args.output:
+            out.close()
+    print(
+        f"method={args.method} kmax={td.kmax} classes="
+        f"{len(td.k_classes())} time={elapsed:.2f}s "
+        + (f"blocks={stats.total_blocks}" if stats.total_blocks else ""),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_ktruss(args: argparse.Namespace) -> int:
+    from repro.core import k_truss
+
+    g = _load(args.input)
+    t = k_truss(g, args.k)
+    write_edge_list(t, args.output)
+    print(
+        f"T_{args.k}: n={t.num_vertices:,} m={t.num_edges:,} -> {args.output}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    g = _load(args.input)
+    s = GraphStatistics.of(g)
+    td = truss_decomposition(g)
+    cmax, _ = max_core(g)
+    print(f"vertices        {s.num_vertices:,}")
+    print(f"edges           {s.num_edges:,}")
+    print(f"size (bytes)    {s.size_bytes:,}")
+    print(f"max degree      {s.max_degree:,}")
+    print(f"median degree   {s.median_degree}")
+    print(f"kmax (truss)    {td.kmax}")
+    print(f"cmax (core)     {cmax}")
+    print(f"clustering      {average_clustering(g):.4f}")
+    return 0
+
+
+def cmd_hierarchy(args: argparse.Namespace) -> int:
+    g = _load(args.input)
+    h = truss_hierarchy(g)
+    print(f"{'k':>5} {'|V|':>10} {'|E|':>10} {'comps':>7} {'density':>9} {'CC':>7}")
+    for row in h.levels:
+        print(
+            f"{row.k:>5} {row.num_vertices:>10,} {row.num_edges:>10,} "
+            f"{row.num_components:>7} {row.density:>9.4f} {row.clustering:>7.3f}"
+        )
+    print(f"collapse level: {h.collapse_level()}", file=sys.stderr)
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    g = load_dataset(args.name, scale=args.scale)
+    write_edge_list(g, args.output)
+    print(
+        f"{args.name}@{args.scale}: n={g.num_vertices:,} m={g.num_edges:,} "
+        f"-> {args.output}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Truss decomposition in massive networks (VLDB 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("decompose", help="truss-decompose an edge list")
+    p.add_argument("input", help="edge-list file (u v per line)")
+    p.add_argument("-o", "--output", help="write 'u v phi' lines here")
+    p.add_argument(
+        "--method",
+        default="improved",
+        choices=["improved", "baseline", "bottomup", "topdown", "mapreduce"],
+    )
+    p.add_argument(
+        "--memory-fraction",
+        type=int,
+        default=None,
+        metavar="F",
+        help="simulate memory M = |G|/F (external methods)",
+    )
+    p.add_argument("--top", type=int, default=None, help="top-t classes (topdown)")
+    p.set_defaults(func=cmd_decompose)
+
+    p = sub.add_parser("ktruss", help="extract one k-truss")
+    p.add_argument("input")
+    p.add_argument("k", type=int)
+    p.add_argument("output")
+    p.set_defaults(func=cmd_ktruss)
+
+    p = sub.add_parser("stats", help="graph statistics (Table 2 row)")
+    p.add_argument("input")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("hierarchy", help="truss fingerprint profile")
+    p.add_argument("input")
+    p.set_defaults(func=cmd_hierarchy)
+
+    p = sub.add_parser("generate", help="emit a registry dataset")
+    p.add_argument("name", choices=dataset_names())
+    p.add_argument("output")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.set_defaults(func=cmd_generate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Clique substrate: Bron-Kerbosch enumeration + truss/core pruning.
+
+Public surface::
+
+    iter_maximal_cliques, maximal_cliques, maximum_clique
+    cliques_of_size_at_least, maximum_clique_truss_pruned
+    clique_search_report                 Section 7.4's claim, measured
+"""
+
+from repro.cliques.bron_kerbosch import (
+    iter_maximal_cliques,
+    maximal_cliques,
+    maximum_clique,
+)
+from repro.cliques.truss_pruned import (
+    CliqueSearchReport,
+    clique_search_report,
+    cliques_of_size_at_least,
+    maximum_clique_truss_pruned,
+)
+
+__all__ = [
+    "iter_maximal_cliques",
+    "maximal_cliques",
+    "maximum_clique",
+    "cliques_of_size_at_least",
+    "maximum_clique_truss_pruned",
+    "clique_search_report",
+    "CliqueSearchReport",
+]

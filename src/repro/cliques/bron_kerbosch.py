@@ -1,0 +1,70 @@
+"""Maximal clique enumeration: Bron–Kerbosch with pivoting.
+
+Section 7.4 of the paper argues that the k-truss is a sharper pruning
+device for clique problems than the k-core: a clique on ``c`` vertices
+lies inside the ``c``-truss (every edge of a ``K_c`` closes ``c-2``
+triangles within it), and ``kmax`` upper-bounds the maximum clique size
+more tightly than ``cmax + 1``.  This module provides the enumeration
+substrate those claims are tested and benchmarked against.
+
+The implementation is the classic Bron–Kerbosch [7] with Tomita-style
+pivoting, plus an optional degeneracy outer order, which is the
+near-optimal variant of Eppstein–Löffler–Strash [17] the paper cites.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Set
+
+from repro.cores.kcore import core_numbers
+from repro.graph.adjacency import Graph
+
+
+def iter_maximal_cliques(g: Graph, use_degeneracy_order: bool = True) -> Iterator[List[int]]:
+    """Yield every maximal clique of ``g`` (as a sorted vertex list).
+
+    Isolated vertices form singleton maximal cliques.  With
+    ``use_degeneracy_order`` the outer level follows a degeneracy
+    ordering, bounding the work by ``O(d * n * 3^(d/3))`` for
+    degeneracy ``d``.
+    """
+    if g.num_vertices == 0:
+        return
+    adj = {v: g.neighbors(v) for v in g.vertices()}
+
+    def expand(r: Set[int], p: Set[int], x: Set[int]) -> Iterator[List[int]]:
+        if not p and not x:
+            yield sorted(r)
+            return
+        # Tomita pivot: the vertex of P ∪ X covering most of P
+        pivot = max(p | x, key=lambda u: len(p & adj[u]))
+        for v in list(p - adj[pivot]):
+            yield from expand(r | {v}, p & adj[v], x & adj[v])
+            p.discard(v)
+            x.add(v)
+
+    if not use_degeneracy_order:
+        yield from expand(set(), set(g.vertices()), set())
+        return
+
+    core = core_numbers(g)
+    order = sorted(g.vertices(), key=lambda v: (core[v], v))
+    position = {v: i for i, v in enumerate(order)}
+    for v in order:
+        later = {w for w in adj[v] if position[w] > position[v]}
+        earlier = {w for w in adj[v] if position[w] < position[v]}
+        yield from expand({v}, later, earlier)
+
+
+def maximal_cliques(g: Graph, use_degeneracy_order: bool = True) -> List[List[int]]:
+    """All maximal cliques, sorted for determinism."""
+    return sorted(iter_maximal_cliques(g, use_degeneracy_order))
+
+
+def maximum_clique(g: Graph) -> List[int]:
+    """One maximum clique (empty list for an empty graph)."""
+    best: List[int] = []
+    for clique in iter_maximal_cliques(g):
+        if len(clique) > len(best):
+            best = clique
+    return best

@@ -1,0 +1,102 @@
+"""Truss- and core-pruned clique search (Section 7.4, made executable).
+
+Two facts drive the pruning:
+
+* a clique on ``c`` vertices is a subgraph of the ``c``-truss (each of
+  its edges closes ``c-2`` triangles inside the clique), so searching
+  for cliques of size ``>= c`` may restrict to ``T_c``;
+* similarly it lies in the ``(c-1)``-core — the weaker, classical
+  filter [17].
+
+The paper's Section 7.4 claims the truss filter is the stronger
+heuristic because ``T_k`` is generally much smaller than the
+``(k-1)``-core; :func:`clique_search_report` measures exactly that on a
+given graph, and the ablation benchmark asserts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cliques.bron_kerbosch import iter_maximal_cliques, maximum_clique
+from repro.core.decomposition import TrussDecomposition
+from repro.core.truss_improved import truss_decomposition_improved
+from repro.cores.kcore import k_core, max_core
+from repro.graph.adjacency import Graph
+
+
+def cliques_of_size_at_least(
+    g: Graph, c: int, decomposition: Optional[TrussDecomposition] = None
+) -> List[List[int]]:
+    """All maximal cliques with ``>= c`` vertices, searched inside T_c.
+
+    ``decomposition`` may be supplied to amortize the truss computation
+    across queries (the intended usage pattern for clique services).
+    """
+    if c < 2:
+        raise ValueError(f"clique size threshold must be >= 2, got {c}")
+    td = decomposition if decomposition is not None else truss_decomposition_improved(g)
+    truss = td.k_truss(c)
+    return [
+        clique
+        for clique in iter_maximal_cliques(truss)
+        if len(clique) >= c
+    ]
+
+
+def maximum_clique_truss_pruned(
+    g: Graph, decomposition: Optional[TrussDecomposition] = None
+) -> List[int]:
+    """A maximum clique, searched only inside the kmax-truss first.
+
+    ``kmax`` upper-bounds the maximum clique size; search descends from
+    ``T_kmax`` and stops at the first level whose truss contains a
+    clique of size ``>= k`` — by the bound, no lower level can beat it.
+    """
+    td = decomposition if decomposition is not None else truss_decomposition_improved(g)
+    if td.num_edges == 0:
+        return sorted(g.vertices())[:1]
+    for k in range(td.kmax, 2, -1):
+        truss = td.k_truss(k)
+        best = maximum_clique(truss)
+        if len(best) >= k:
+            return best
+    return maximum_clique(g)
+
+
+@dataclass(frozen=True)
+class CliqueSearchReport:
+    """Size of the search space under no / core / truss pruning."""
+
+    clique_size: int
+    graph_edges: int
+    core_edges: int
+    truss_edges: int
+    max_clique_bound_core: int
+    max_clique_bound_truss: int
+
+    @property
+    def truss_vs_core_reduction(self) -> float:
+        """How much smaller the truss filter's search space is."""
+        if self.core_edges == 0:
+            return 1.0
+        return self.truss_edges / self.core_edges
+
+
+def clique_search_report(
+    g: Graph, c: int, decomposition: Optional[TrussDecomposition] = None
+) -> CliqueSearchReport:
+    """Measure Section 7.4's claim for cliques of size ``c`` on ``g``."""
+    td = decomposition if decomposition is not None else truss_decomposition_improved(g)
+    core = k_core(g, c - 1)
+    truss = td.k_truss(c)
+    cmax, _ = max_core(g)
+    return CliqueSearchReport(
+        clique_size=c,
+        graph_edges=g.num_edges,
+        core_edges=core.num_edges,
+        truss_edges=truss.num_edges,
+        max_clique_bound_core=cmax + 1,
+        max_clique_bound_truss=td.kmax,
+    )

@@ -1,0 +1,60 @@
+"""The paper's contribution: truss decomposition algorithms.
+
+Public surface (see :mod:`repro.core.api` for the uniform front door)::
+
+    truss_decomposition(g, method=...)   dispatching entry point
+    k_truss(g, k), trussness(g)          conveniences
+    TrussDecomposition                   result model
+    truss_decomposition_baseline         Algorithm 1  (TD-inmem)
+    truss_decomposition_improved         Algorithm 2  (TD-inmem+)
+    truss_decomposition_bottomup         Algorithms 3+4 (TD-bottomup)
+    truss_decomposition_topdown          Algorithm 7  (TD-topdown)
+    truss_decomposition_mapreduce        Cohen's TD-MR baseline
+    lower_bounding / upper_bounding      the bound stages, standalone
+"""
+
+from repro.core.api import (
+    METHODS,
+    k_truss,
+    top_t_classes,
+    truss_decomposition,
+    trussness,
+)
+from repro.core.bottomup import ample_budget, peel_level, truss_decomposition_bottomup
+from repro.core.decomposition import DecompositionStats, TrussDecomposition
+from repro.core.hierarchy import HierarchyLevel, TrussHierarchy, truss_hierarchy
+from repro.core.lowerbound import LowerBoundResult, lower_bounding, prepare_input
+from repro.core.mapreduce_truss import k_truss_mr, truss_decomposition_mapreduce
+from repro.core.semi_external import truss_decomposition_semi_external
+from repro.core.topdown import truss_decomposition_topdown
+from repro.core.truss_baseline import truss_decomposition_baseline
+from repro.core.truss_improved import truss_decomposition_improved
+from repro.core.upperbound import h_index, upper_bounding, x_excluding
+
+__all__ = [
+    "METHODS",
+    "truss_decomposition",
+    "k_truss",
+    "trussness",
+    "top_t_classes",
+    "TrussDecomposition",
+    "DecompositionStats",
+    "truss_hierarchy",
+    "TrussHierarchy",
+    "HierarchyLevel",
+    "truss_decomposition_baseline",
+    "truss_decomposition_improved",
+    "truss_decomposition_bottomup",
+    "truss_decomposition_topdown",
+    "truss_decomposition_mapreduce",
+    "truss_decomposition_semi_external",
+    "k_truss_mr",
+    "lower_bounding",
+    "LowerBoundResult",
+    "prepare_input",
+    "upper_bounding",
+    "h_index",
+    "x_excluding",
+    "ample_budget",
+    "peel_level",
+]

@@ -1,0 +1,139 @@
+"""The library's front door: uniform truss-decomposition entry points.
+
+``truss_decomposition(g, method=...)`` dispatches to the four
+implementations the paper evaluates; ``k_truss``/``trussness``/
+``top_t_classes`` are the conveniences most applications want.
+
+Methods:
+
+========== ==================================== =========================
+name       paper algorithm                       when to use
+========== ==================================== =========================
+improved   Algorithm 2 (TD-inmem+)               default; graph fits RAM
+baseline   Algorithm 1 (TD-inmem, Cohen)         comparison only
+bottomup   Algorithms 3+4 (TD-bottomup)          graph exceeds memory
+topdown    Algorithm 7 (TD-topdown)              only the top-t classes
+mapreduce  Cohen's TD-MR                         comparison only
+========== ==================================== =========================
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.bottomup import truss_decomposition_bottomup
+from repro.core.decomposition import TrussDecomposition
+from repro.core.mapreduce_truss import truss_decomposition_mapreduce
+from repro.core.topdown import truss_decomposition_topdown
+from repro.core.truss_baseline import truss_decomposition_baseline
+from repro.core.truss_improved import truss_decomposition_improved
+from repro.errors import DecompositionError
+from repro.exio.iostats import IOStats
+from repro.exio.memory import MemoryBudget
+from repro.graph.adjacency import Graph
+from repro.graph.edges import Edge
+from repro.partition.base import Partitioner
+
+METHODS = ("improved", "baseline", "bottomup", "topdown", "mapreduce")
+
+
+def truss_decomposition(
+    g: Graph,
+    method: str = "improved",
+    *,
+    memory_budget: Optional[MemoryBudget] = None,
+    partitioner: Optional[Partitioner] = None,
+    workdir: Optional[Path] = None,
+    io_stats: Optional[IOStats] = None,
+    top_t: Optional[int] = None,
+) -> TrussDecomposition:
+    """Compute the truss decomposition of ``g``.
+
+    Args:
+        g: the input graph (undirected, simple).
+        method: one of :data:`METHODS`.
+        memory_budget: simulated memory ``M`` for the external methods.
+        partitioner: partitioning strategy for the external methods.
+        workdir: scratch directory for spill files (temp dir by default).
+        io_stats: block-I/O counter to populate (external methods).
+        top_t: with ``method='topdown'``, compute only the top-t classes.
+
+    Returns:
+        A :class:`TrussDecomposition`; for ``top_t`` runs it is partial
+        (contains only the requested classes).
+    """
+    if method == "improved":
+        _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
+        return truss_decomposition_improved(g)
+    if method == "baseline":
+        _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
+        return truss_decomposition_baseline(g)
+    if method == "bottomup":
+        if top_t is not None:
+            raise DecompositionError(
+                "top_t is only meaningful for method='topdown'"
+            )
+        return truss_decomposition_bottomup(
+            g,
+            budget=memory_budget,
+            partitioner=partitioner,
+            workdir=workdir,
+            stats=io_stats,
+        )
+    if method == "topdown":
+        return truss_decomposition_topdown(
+            g,
+            t=top_t,
+            budget=memory_budget,
+            partitioner=partitioner,
+            workdir=workdir,
+            stats=io_stats,
+        )
+    if method == "mapreduce":
+        _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
+        return truss_decomposition_mapreduce(g)
+    raise DecompositionError(
+        f"unknown method {method!r}; expected one of {METHODS}"
+    )
+
+
+def _reject_external_args(method, memory_budget, partitioner, io_stats, top_t):
+    extras = {
+        "memory_budget": memory_budget,
+        "partitioner": partitioner,
+        "io_stats": io_stats,
+        "top_t": top_t,
+    }
+    bad = [name for name, value in extras.items() if value is not None]
+    if bad:
+        raise DecompositionError(
+            f"method {method!r} does not accept: {', '.join(bad)}"
+        )
+
+
+def trussness(g: Graph, method: str = "improved") -> Dict[Edge, int]:
+    """The ``phi(e)`` map of every edge."""
+    return dict(truss_decomposition(g, method=method).trussness)
+
+
+def k_truss(g: Graph, k: int, method: str = "improved") -> Graph:
+    """The k-truss subgraph of ``g`` (``T_2 = g`` by definition)."""
+    if k < 2:
+        raise DecompositionError(f"k-truss is defined for k >= 2, got {k}")
+    if k == 2:
+        out = g.copy()
+        out.drop_isolated_vertices()
+        return out
+    return truss_decomposition(g, method=method).k_truss(k)
+
+
+def top_t_classes(
+    g: Graph, t: int, method: str = "topdown"
+) -> Dict[int, List[Edge]]:
+    """The classes ``Phi_k`` for ``kmax >= k > kmax - t``."""
+    if method == "topdown":
+        td = truss_decomposition(g, method="topdown", top_t=t)
+        kmax = td.kmax
+        return {k: td.k_class(k) for k in range(kmax, max(kmax - t, 1), -1)}
+    return truss_decomposition(g, method=method).top_classes(t)

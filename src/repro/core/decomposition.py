@@ -1,0 +1,201 @@
+"""The result model of a truss decomposition.
+
+A decomposition is fully described by the trussness map
+``phi: E -> {2, 3, ..., kmax}`` (Definition 2/3).  Everything else —
+k-classes, k-trusses, the maximum truss — is derived::
+
+    Phi_k  = { e : phi(e) = k }            (the k-class)
+    E_Tk   = union of Phi_j for j >= k     (the k-truss's edges)
+
+:class:`TrussDecomposition` wraps the map with cached derivations plus a
+``verify`` method that re-checks the defining invariants against the
+source graph — used pervasively by the test suite and available to
+users who want belt-and-braces validation on their own data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import DecompositionError
+from repro.exio.iostats import IOStats
+from repro.graph.adjacency import Graph
+from repro.graph.edges import Edge, norm_edge
+from repro.graph.views import union_edge_subgraph
+
+
+@dataclass
+class DecompositionStats:
+    """Bookkeeping attached to a decomposition run.
+
+    ``extra`` carries method-specific counters (candidate subgraph
+    sizes, MapReduce rounds, partition iterations...) that the benchmark
+    harness folds into its tables.
+    """
+
+    method: str
+    io: Optional[IOStats] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def record(self, key: str, value: float) -> None:
+        """Set a named counter."""
+        self.extra[key] = value
+
+    def bump(self, key: str, amount: float = 1) -> None:
+        """Increment a named counter."""
+        self.extra[key] = self.extra.get(key, 0) + amount
+
+
+class TrussDecomposition:
+    """Immutable truss decomposition result.
+
+    >>> from repro.graph import complete_graph
+    >>> from repro.core import truss_decomposition
+    >>> td = truss_decomposition(complete_graph(4))
+    >>> td.kmax
+    4
+    >>> sorted(td.k_class(4)) == sorted(complete_graph(4).edges())
+    True
+    """
+
+    def __init__(
+        self,
+        trussness: Mapping[Edge, int],
+        stats: Optional[DecompositionStats] = None,
+    ) -> None:
+        self._phi: Dict[Edge, int] = {}
+        for (u, v), k in trussness.items():
+            if k < 2:
+                raise DecompositionError(
+                    f"trussness of edge ({u}, {v}) is {k}; minimum is 2"
+                )
+            self._phi[norm_edge(u, v)] = k
+        self.stats = stats
+        self._classes: Optional[Dict[int, List[Edge]]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def trussness(self) -> Mapping[Edge, int]:
+        """The phi(e) map over canonical edges."""
+        return self._phi
+
+    def phi(self, u: int, v: int) -> int:
+        """Trussness of one edge; raises KeyError if absent."""
+        return self._phi[norm_edge(u, v)]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of classified edges."""
+        return len(self._phi)
+
+    @property
+    def kmax(self) -> int:
+        """The largest k with a non-empty k-truss (2 for edgeless input)."""
+        return max(self._phi.values(), default=2)
+
+    # ------------------------------------------------------------------
+    def k_classes(self) -> Dict[int, List[Edge]]:
+        """All non-empty k-classes, edges sorted for determinism."""
+        if self._classes is None:
+            classes: Dict[int, List[Edge]] = {}
+            for e, k in self._phi.items():
+                classes.setdefault(k, []).append(e)
+            for edges in classes.values():
+                edges.sort()
+            self._classes = classes
+        return self._classes
+
+    def k_class(self, k: int) -> List[Edge]:
+        """``Phi_k`` (possibly empty)."""
+        return list(self.k_classes().get(k, []))
+
+    def k_truss_edges(self, k: int) -> List[Edge]:
+        """Edges of ``T_k`` = union of classes >= k, sorted."""
+        out: List[Edge] = []
+        for j, edges in self.k_classes().items():
+            if j >= k:
+                out.extend(edges)
+        out.sort()
+        return out
+
+    def k_truss(self, k: int) -> Graph:
+        """``T_k`` as a graph (no isolated vertices)."""
+        return union_edge_subgraph([self.k_truss_edges(k)])
+
+    def max_truss(self) -> Tuple[int, Graph]:
+        """``(kmax, the kmax-truss)`` — the paper's ``T`` in Table 6."""
+        k = self.kmax
+        return k, self.k_truss(k)
+
+    def top_classes(self, t: int) -> Dict[int, List[Edge]]:
+        """The top-t classes: ``Phi_k`` for ``kmax >= k > kmax - t``.
+
+        Empty classes inside the range are included as empty lists, so
+        callers can distinguish "computed and empty" from "not
+        computed".
+        """
+        if t < 1:
+            raise DecompositionError(f"top_classes needs t >= 1, got {t}")
+        kmax = self.kmax
+        return {
+            k: self.k_class(k) for k in range(kmax, max(kmax - t, 1), -1)
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TrussDecomposition):
+            return NotImplemented
+        return self._phi == other._phi
+
+    def __repr__(self) -> str:
+        return (
+            f"TrussDecomposition(m={self.num_edges}, kmax={self.kmax}, "
+            f"classes={sorted(self.k_classes())})"
+        )
+
+    # ------------------------------------------------------------------
+    def verify(self, g: Graph) -> None:
+        """Re-check the k-truss definition against the source graph.
+
+        Raises :class:`DecompositionError` on the first violated
+        invariant:
+
+        1. the classified edge set is exactly ``E_G``;
+        2. within each ``T_k``, every edge has support >= k-2;
+        3. each ``T_k`` is *maximal*: every edge of trussness k-1 would
+           have support < k-2 if added to ``T_k`` (checked via its
+           support at its own level).
+        """
+        ours = set(self._phi)
+        theirs = set(g.edges())
+        if ours != theirs:
+            raise DecompositionError(
+                f"edge sets differ: {len(ours - theirs)} extra, "
+                f"{len(theirs - ours)} missing"
+            )
+        for k in sorted(self.k_classes()):
+            tk = self.k_truss(k)
+            for u, v in tk.edges():
+                s = len(tk.common_neighbors(u, v))
+                if s < k - 2:
+                    raise DecompositionError(
+                        f"edge ({u}, {v}) has support {s} < {k - 2} "
+                        f"inside T_{k}"
+                    )
+        # maximality: peeling T_k at threshold (k+1)-2 by definition must
+        # leave exactly the claimed T_{k+1}; anything extra surviving means
+        # some class-k edge actually belongs to a higher class.
+        for k in sorted(self.k_classes()):
+            peeled = self.k_truss(k)
+            changed = True
+            while changed:
+                changed = False
+                for u, v in list(peeled.edges()):
+                    if len(peeled.common_neighbors(u, v)) < k - 1:
+                        peeled.remove_edge(u, v)
+                        changed = True
+            if set(peeled.edges()) != set(self.k_truss_edges(k + 1)):
+                raise DecompositionError(
+                    f"T_{k} is not maximal: peeling it at level {k + 1} "
+                    f"does not reproduce the claimed T_{k + 1}"
+                )

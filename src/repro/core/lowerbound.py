@@ -1,0 +1,160 @@
+"""Algorithm 3: LowerBounding — stage 1 of the bottom-up approach.
+
+The stage streams the on-disk graph through memory-sized neighborhood
+subgraphs.  For each partition block ``P_i`` it loads ``H = NS(P_i)``,
+runs the in-memory Algorithm 2 *locally* on ``H``, and uses the local
+trussness as a global lower bound (Lemma 1: ``phi(e, H) <= phi(e)``
+because ``H`` is a subgraph).  Internal edges are then retired from the
+shrinking graph: support-0 edges go straight to the 2-class, the rest
+are appended to ``Gnew`` on disk, annotated with their lower bound.
+
+One deviation from the paper's Step 8 as literally written: an internal
+edge is emitted to ``Phi_2`` only when its measured support is 0 **and**
+its recorded lower bound is still 2.  The measured support is exact only
+w.r.t. the *current shrunken* graph; a triangle whose first edge was
+retired in an earlier iteration is invisible to it.  The recorded bound
+covers exactly that case: when the first edge of any triangle becomes
+internal, all three triangle edges sit in the same ``H`` (their
+endpoints are covered by the internal edge's block), so every edge that
+was ever in a live triangle carries ``lb(e) >= 3`` by the time it is
+itself retired.  The guard therefore restores the exact 2-class, which
+is ``{e : sup(e, G) = 0}`` (level-3 peeling never cascades).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+from repro.core.truss_improved import truss_decomposition_improved
+from repro.exio.edgefile import DiskEdgeFile
+from repro.exio.iostats import IOStats
+from repro.exio.memory import MemoryBudget
+from repro.graph.adjacency import Graph
+from repro.graph.edges import Edge
+from repro.partition.base import Partitioner, PartitionSource, partition_with_escape
+from repro.triangles.support import supports_within
+
+INITIAL_LOWER_BOUND = 2
+"""Every edge's trussness is at least 2 (Definition 2)."""
+
+
+@dataclass
+class LowerBoundResult:
+    """Output of the LowerBounding stage."""
+
+    phi2: List[Edge]
+    gnew: DiskEdgeFile
+    iterations: int = 0
+    blocks_processed: int = 0
+    max_subgraph_size: int = 0
+    counters: Dict[str, float] = field(default_factory=dict)
+
+
+def _read_bucket(
+    buckets, index: int
+) -> Tuple[Graph, Dict[Edge, int]]:
+    """Load one distributed bucket: NS(P_i) plus stored bounds."""
+    h = Graph()
+    bounds: Dict[Edge, int] = {}
+    for u, v, lb in buckets.read(index):
+        h.add_edge(u, v)
+        bounds[(u, v)] = lb
+    return h, bounds
+
+
+def lower_bounding(
+    g_file: DiskEdgeFile,
+    gnew_path: Path,
+    budget: MemoryBudget,
+    partitioner: Partitioner,
+    stats: IOStats,
+) -> LowerBoundResult:
+    """Run Algorithm 3, draining ``g_file`` into ``Phi_2`` + ``Gnew``.
+
+    ``g_file`` must carry the initial bound (2) in its attribute field
+    (use :func:`prepare_input`); it is consumed — empty on return.
+    Each iteration costs O(scan(|G|)) via one-pass bucket distribution,
+    matching the paper's (= [13]'s) I/O bound of O((m/M) scan(|G|))
+    over all iterations.
+    """
+    from repro.partition.distribute import distribute_edges
+
+    workdir = gnew_path.parent / (gnew_path.name + ".buckets")
+    gnew = DiskEdgeFile.from_records(gnew_path, [], stats)
+    result = LowerBoundResult(phi2=[], gnew=gnew)
+    capacity_boost = 1
+    while not g_file.is_empty:
+        result.iterations += 1
+        source = PartitionSource.from_edge_file(g_file)
+        blocks = partition_with_escape(
+            partitioner, source, budget, boost=capacity_boost
+        )
+        block_of = {v: i for i, blk in enumerate(blocks) for v in blk}
+        buckets = distribute_edges(
+            g_file.scan(), block_of, len(blocks), workdir, stats,
+            tag=f"lb{result.iterations}",
+        )
+        retired: Set[Edge] = set()
+        updated_bounds: Dict[Edge, int] = {}
+        for index, block in enumerate(blocks):
+            block_set = set(block)
+            h, bounds = _read_bucket(buckets, index)
+            if h.num_edges == 0:
+                continue
+            result.blocks_processed += 1
+            result.max_subgraph_size = max(result.max_subgraph_size, h.size)
+            # Step 6: local truss decomposition of H (Algorithm 2)
+            local = truss_decomposition_improved(h)
+            # Step 7: lb(e) <- max(lb(e), phi(e, H)) for every edge of H
+            new_bounds: Dict[Edge, int] = {}
+            for e, lb in bounds.items():
+                new_bounds[e] = max(lb, local.trussness[e])
+            # Steps 8-10: retire internal edges
+            sup = supports_within(h, block_set)
+            emit: List[Tuple[int, int, int]] = []
+            for e in sup:
+                lb = new_bounds[e]
+                if sup[e] == 0 and lb <= 2:
+                    result.phi2.append(e)
+                else:
+                    emit.append((e[0], e[1], lb))
+                retired.add(e)
+                new_bounds.pop(e)
+            gnew.append(emit)
+            # external edges keep riding in G with their improved bound;
+            # an edge straddling two blocks is external in both, so keep
+            # the best bound either block derived for it
+            for e, lb in new_bounds.items():
+                if lb > updated_bounds.get(e, 0):
+                    updated_bounds[e] = lb
+        buckets.delete()
+        if retired or updated_bounds:
+            def transform(rec, dead=retired, upd=updated_bounds):
+                e = (rec[0], rec[1])
+                if e in dead:
+                    return None
+                lb = upd.get(e)
+                return rec if lb is None else (rec[0], rec[1], lb)
+
+            g_file.rewrite(transform)
+        if not retired:
+            # no block produced an internal edge: widen the blocks so the
+            # next round is guaranteed to make progress eventually
+            capacity_boost *= 2
+        else:
+            capacity_boost = 1
+    result.counters["phi2_size"] = len(result.phi2)
+    result.counters["gnew_size"] = len(gnew)
+    return result
+
+
+def prepare_input(
+    g: Graph, path: Path, stats: IOStats
+) -> DiskEdgeFile:
+    """Spill an in-memory graph to the attributed edge-file format the
+    external algorithms consume (initial lower bound on every edge)."""
+    return DiskEdgeFile.from_edges(
+        path, g.sorted_edges(), stats, attr=INITIAL_LOWER_BOUND
+    )

@@ -1,0 +1,138 @@
+"""The naive "run the in-memory algorithm against disk" baseline.
+
+Section 3.3: when the graph exceeds memory, Algorithms 1/2 "reveal that
+random access to vertices and edges stored on disk is necessary, which
+can incur prohibitively high I/O cost ... the removal of an edge may
+trigger the removal of other edges and this propagating effect can
+spread to random locations in the graph."
+
+This module makes that argument measurable.  It runs Algorithm 2's
+peeling semantics, but the adjacency lists live in the on-disk
+adjacency file and are fetched on demand through a bounded LRU
+:class:`~repro.exio.bufferpool.BufferPool` — the "semi-external"
+setting (O(m) edge state in memory, graph structure on disk).  Every
+cache miss is a block read; every non-sequential fetch is a seek.  The
+ablation benchmark contrasts its I/O against TD-bottomup under the same
+memory, which is the paper's whole case for designing scan-based
+algorithms.
+"""
+
+from __future__ import annotations
+
+import struct
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.decomposition import DecompositionStats, TrussDecomposition
+from repro.exio.bufferpool import BufferPool
+from repro.exio.diskgraph import DiskAdjacencyGraph
+from repro.exio.iostats import IOStats
+from repro.exio.memory import MemoryBudget
+from repro.graph.adjacency import Graph
+from repro.graph.edges import Edge, norm_edge
+
+_HEADER = struct.Struct("<qq")
+_ID = struct.Struct("<q")
+
+
+class _DiskAdjacency:
+    """Random-access neighbor lists over the adjacency file."""
+
+    def __init__(self, disk: DiskAdjacencyGraph, pool: BufferPool) -> None:
+        self.pool = pool
+        # the offset index is O(n) memory — allowed in the semi-external
+        # model (the paper's complaint is I/O, not index space)
+        self.offsets: Dict[int, Tuple[int, int]] = {}
+        offset = 0
+        for v, nbrs in disk.scan():
+            self.offsets[v] = (offset, len(nbrs))
+            offset += _HEADER.size + len(nbrs) * _ID.size
+
+    def neighbors(self, v: int) -> List[int]:
+        """Fetch ``nb(v)`` from disk through the buffer pool."""
+        offset, deg = self.offsets[v]
+        blob = self.pool.read_range(
+            offset + _HEADER.size, deg * _ID.size
+        )
+        return [x[0] for x in _ID.iter_unpack(blob)]
+
+
+def truss_decomposition_semi_external(
+    g: Graph,
+    budget: Optional[MemoryBudget] = None,
+    workdir: Optional[Path] = None,
+    stats: Optional[IOStats] = None,
+) -> TrussDecomposition:
+    """Peel with on-disk adjacency and a memory-bounded page cache.
+
+    The budget's unit count is converted to buffer-pool pages at one
+    graph unit per stored word, mirroring how the same budget bounds the
+    in-memory subgraphs of the external algorithms.  Results are
+    identical to every other method; only the I/O profile differs —
+    which is the measurement this baseline exists for.
+    """
+    stats = stats if stats is not None else IOStats()
+    budget = budget if budget is not None else MemoryBudget(units=max(4, g.size))
+    dstats = DecompositionStats(method="semi_external", io=stats)
+
+    with tempfile.TemporaryDirectory(dir=workdir) as tmp:
+        tmp = Path(tmp)
+        build_stats = IOStats(block_size=stats.block_size)
+        disk = DiskAdjacencyGraph.build_from_graph(
+            g, tmp / "g.adj", build_stats, tmp / "work"
+        )
+        # pages worth `budget` units of 8-byte words
+        pages = max(1, (budget.units * 8) // stats.block_size)
+        with BufferPool(disk.path, stats, capacity_pages=pages) as pool:
+            adj = _DiskAdjacency(disk, pool)
+
+            # ---- Algorithm 2 semantics over disk-resident adjacency ----
+            # in memory: one integer of state per edge (the semi-external
+            # allowance); the adjacency structure itself stays on disk
+            sup: Dict[Edge, int] = {}
+            for u, v in g.edges():
+                nu = adj.neighbors(u)
+                nv = set(adj.neighbors(v))
+                sup[(u, v)] = sum(1 for w in nu if w in nv)
+
+            phi: Dict[Edge, int] = {}
+            remaining = set(sup)
+            k = 2
+            while remaining:
+                threshold = k - 2
+                queue = [e for e in remaining if sup[e] <= threshold]
+                if not queue:
+                    k += 1
+                    continue
+                while queue:
+                    e = queue.pop()
+                    if e not in remaining:
+                        continue
+                    u, v = e
+                    remaining.discard(e)
+                    phi[e] = k
+                    # the random-access step the paper warns about: both
+                    # endpoints' lists fetched from arbitrary disk pages,
+                    # for every single removal in the cascade
+                    nu = adj.neighbors(u)
+                    nv = set(adj.neighbors(v))
+                    for w in nu:
+                        if w not in nv:
+                            continue
+                        fu = norm_edge(u, w)
+                        fv = norm_edge(v, w)
+                        # the triangle was live only if both wings are
+                        # (disk lists never shrink; liveness is edge state)
+                        if fu in remaining and fv in remaining:
+                            for f in (fu, fv):
+                                sup[f] -= 1
+                                if sup[f] <= threshold:
+                                    queue.append(f)
+                    del sup[e]
+                k += 1
+            dstats.record("buffer_hits", pool.hits)
+            dstats.record("buffer_misses", pool.misses)
+            dstats.record("buffer_hit_rate", pool.hit_rate)
+    dstats.record("kmax", max(phi.values(), default=2))
+    return TrussDecomposition(phi, stats=dstats)

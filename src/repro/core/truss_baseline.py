@@ -1,0 +1,101 @@
+"""Algorithm 1: the existing in-memory truss decomposition (Cohen [15]).
+
+This is the paper's baseline, **TD-inmem**.  After initializing edge
+supports, it repeatedly removes any edge with support below ``k-2``,
+recomputing the triangle partners ``W = nb(u) ∩ nb(v)`` of each removed
+edge by *merging the two sorted adjacency lists* — the representation
+Section 2 fixes for all algorithms.  Deletion is implicit ("simply
+marking that e has been deleted"), so the lists never shrink and every
+recomputation pays the full ``O(deg(u) + deg(v))``; over the whole run
+that is ``O(Σ_v deg(v)^2)`` — quadratic in hub degrees, which is exactly
+what the paper blames for TD-inmem's collapse on power-law graphs
+(Table 3's 73× gap on Wiki).
+
+The improved Algorithm 2 differs precisely here: it walks only the
+lower-degree endpoint's list and hash-probes the other side, never
+paying for the hub.  Keep this file honest — "optimizing" the merge
+below would quietly delete the paper's contribution.
+
+Support initialization uses the fast triangle-counting path, which the
+paper explicitly allows for Steps 2-3 ("the initialization can be made
+faster using the in-memory triangle counting algorithm"); the measured
+gap is then entirely the peeling loop's.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Set
+
+from repro.core.decomposition import DecompositionStats, TrussDecomposition
+from repro.graph.adjacency import Graph
+from repro.graph.edges import Edge, norm_edge
+from repro.triangles.support import edge_supports
+
+
+def truss_decomposition_baseline(g: Graph) -> TrussDecomposition:
+    """Run Algorithm 1 and return the full decomposition.
+
+    The input graph is not modified.
+    """
+    # the paper's storage: per-vertex sorted adjacency lists, which are
+    # never compacted — removal only flips the edge's "alive" mark
+    adj: Dict[int, List[int]] = {v: sorted(g.neighbors(v)) for v in g.vertices()}
+    sup: Dict[Edge, int] = edge_supports(g)
+    alive: Set[Edge] = set(sup)
+    phi: Dict[Edge, int] = {}
+    stats = DecompositionStats(method="baseline")
+
+    def triangle_partners(u: int, v: int) -> List[int]:
+        """Step 5: W = nb(u) ∩ nb(v) by full sorted-list merge."""
+        lu, lv = adj[u], adj[v]
+        stats.bump("intersection_work", len(lu) + len(lv))
+        out: List[int] = []
+        i = j = 0
+        nu, nv = len(lu), len(lv)
+        while i < nu and j < nv:
+            a, b = lu[i], lv[j]
+            if a < b:
+                i += 1
+            elif b < a:
+                j += 1
+            else:
+                # both endpoints still list w; the triangle is live only
+                # if neither wing edge has been (implicitly) deleted
+                w = a
+                if (
+                    norm_edge(u, w) in alive
+                    and norm_edge(v, w) in alive
+                ):
+                    out.append(w)
+                i += 1
+                j += 1
+        return out
+
+    k = 3
+    remaining = len(alive)
+    while remaining > 0:
+        # Step 4: queue every edge currently under the k-threshold
+        queue: Deque[Edge] = deque(
+            e for e in alive if sup[e] < k - 2
+        )
+        while queue:
+            e = queue.popleft()
+            if e not in alive:
+                continue  # already removed via an earlier cascade
+            u, v = e
+            for w in triangle_partners(u, v):
+                for f in (norm_edge(u, w), norm_edge(v, w)):
+                    sup[f] -= 1
+                    if sup[f] < k - 2:
+                        queue.append(f)
+            # e leaves while the k-truss is being computed, so it is in
+            # the (k-1)-truss but not the k-truss: phi(e) = k - 1
+            alive.discard(e)
+            phi[e] = k - 1
+            remaining -= 1
+        # Step 9: what remains is the k-truss; move to the next level
+        if remaining > 0:
+            k += 1
+    stats.record("kmax", max(phi.values(), default=2))
+    return TrussDecomposition(phi, stats=stats)

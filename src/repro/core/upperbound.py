@@ -1,0 +1,123 @@
+"""Procedure 6: UpperBounding — the top-down approach's pruning lever.
+
+For an edge ``e = (u, v)`` with exact support ``sup(e)``, let ``x_w``
+(for ``w ∈ {u, v}``) be the largest ``x`` such that at least ``x`` edges
+incident to ``w``, *excluding e*, have support at least ``x`` — an
+h-index over the incident support multiset.  Then
+
+    psi(e) = min(sup(e), x_u, x_v) + 2
+
+is an upper bound on the trussness (Lemma 2): were ``phi(e) > psi(e)``,
+``e`` would sit in more than ``psi(e) - 2`` triangles of ``T_phi(e)``,
+forcing ``sup(e)``, ``x_u`` and ``x_v`` all above ``psi(e) - 2``.
+
+The bound is only valid when the supports are exact in the full graph,
+which is why the top-down pipeline feeds this from
+:func:`repro.triangles.external.external_edge_supports` rather than the
+shrinking-graph pass (see that module's docstring).
+
+Implementation note: rather than materializing ``NS(P_i)`` per block, we
+compute per-vertex h-indexes in degree-bounded vertex batches (each
+batch's incident-support lists fit in memory) and then rewrite the edge
+file once.  The per-edge "excluding e" adjustment falls out of two
+per-vertex numbers: the h-index ``h_v`` over *all* incident supports and
+the count ``c_v`` of incident edges with support ``>= h_v`` — excluding
+one edge with ``sup >= h_v`` lowers the h-index exactly when
+``c_v == h_v``.  This computes the same ``x`` values as the paper's
+per-edge definition with ``O(scan(|Gnew|) * ceil(2m/M))`` I/O and O(n)
+vertex state.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.exio.edgefile import DiskEdgeFile
+from repro.exio.iostats import IOStats
+from repro.exio.memory import MemoryBudget
+
+
+def h_index(values: Iterable[int]) -> int:
+    """The h-index of a multiset: max x with >= x values >= x."""
+    sorted_vals = sorted(values, reverse=True)
+    h = 0
+    for i, val in enumerate(sorted_vals):
+        if val >= i + 1:
+            h = i + 1
+        else:
+            break
+    return h
+
+
+def x_excluding(h: int, count_at_h: int, excluded_support: int) -> int:
+    """The h-index after removing one element of the given support."""
+    if excluded_support >= h and count_at_h == h:
+        return h - 1
+    return h
+
+
+def _vertex_h_indexes(
+    sup_file: DiskEdgeFile, budget: MemoryBudget
+) -> Dict[int, Tuple[int, int]]:
+    """Per-vertex ``(h, count_at_h)`` over incident edge supports.
+
+    Vertices are processed in batches whose total incident-list length
+    respects the memory budget; each batch costs one scan of the file.
+    """
+    degrees: Dict[int, int] = {}
+    for u, v, _sup in sup_file.scan():
+        degrees[u] = degrees.get(u, 0) + 1
+        degrees[v] = degrees.get(v, 0) + 1
+    result: Dict[int, Tuple[int, int]] = {}
+    capacity = budget.partition_capacity()
+    batch: List[int] = []
+    batch_load = 0
+
+    def flush(batch_vertices: List[int]) -> None:
+        if not batch_vertices:
+            return
+        wanted = set(batch_vertices)
+        incident: Dict[int, List[int]] = {v: [] for v in batch_vertices}
+        for u, v, sup in sup_file.scan():
+            if u in wanted:
+                incident[u].append(sup)
+            if v in wanted:
+                incident[v].append(sup)
+        for v in batch_vertices:
+            h = h_index(incident[v])
+            c = sum(1 for s in incident[v] if s >= h)
+            result[v] = (h, c)
+
+    for v in sorted(degrees):
+        if batch and batch_load + degrees[v] > capacity:
+            flush(batch)
+            batch, batch_load = [], 0
+        batch.append(v)
+        batch_load += degrees[v]
+    flush(batch)
+    return result
+
+
+def upper_bounding(
+    sup_file: DiskEdgeFile,
+    out_path: Path,
+    budget: MemoryBudget,
+    stats: IOStats,
+) -> DiskEdgeFile:
+    """Turn a support-annotated edge file into a psi-annotated one.
+
+    ``sup_file`` is left intact; the result file carries
+    ``psi(e) = min(sup(e), x_u, x_v) + 2`` per edge.
+    """
+    hx = _vertex_h_indexes(sup_file, budget)
+
+    def records() -> Iterable[Tuple[int, int, int]]:
+        for u, v, sup in sup_file.scan():
+            hu, cu = hx[u]
+            hv, cv = hx[v]
+            xu = x_excluding(hu, cu, sup)
+            xv = x_excluding(hv, cv, sup)
+            yield (u, v, min(sup, xu, xv) + 2)
+
+    return DiskEdgeFile.from_records(out_path, records(), stats)

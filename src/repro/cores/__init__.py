@@ -1,0 +1,30 @@
+"""k-core substrate and graph metrics.
+
+Public surface::
+
+    core_numbers, k_core, max_core, degeneracy    Batagelj-Zaversnik peeling
+    local_clustering, average_clustering, ...     metrics for Tables 2/6
+"""
+
+from repro.cores.kcore import core_numbers, degeneracy, k_core, max_core
+from repro.cores.metrics import (
+    GraphStatistics,
+    average_clustering,
+    density,
+    global_clustering,
+    local_clustering,
+    median_degree,
+)
+
+__all__ = [
+    "core_numbers",
+    "k_core",
+    "max_core",
+    "degeneracy",
+    "GraphStatistics",
+    "average_clustering",
+    "global_clustering",
+    "local_clustering",
+    "density",
+    "median_degree",
+]

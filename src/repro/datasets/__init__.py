@@ -1,0 +1,78 @@
+"""Datasets: seeded generators, SNAP-like registry and paper figures.
+
+Public surface::
+
+    load_dataset, dataset_names, dataset_spec      Table 2 stand-ins
+    IN_MEMORY_DATASETS / MASSIVE_DATASETS / ...    evaluation groupings
+    running_example_graph, RUNNING_EXAMPLE_CLASSES Figure 2 + ground truth
+    manager_graph, MANAGER_CLIQUES                 Figure 1 reconstruction
+    erdos_renyi, powerlaw_graph, ...               raw generators
+"""
+
+from repro.datasets.generators import (
+    barabasi_albert,
+    collaboration_graph,
+    community_graph,
+    erdos_renyi,
+    plant_biclique,
+    plant_clique,
+    powerlaw_graph,
+    star_heavy_graph,
+)
+from repro.datasets.krackhardt import (
+    MANAGER_CLIQUES,
+    PAPER_CLUSTERING,
+    PERIPHERY_EDGES,
+    clique_union_edges,
+    manager_graph,
+)
+from repro.datasets.registry import (
+    IN_MEMORY_DATASETS,
+    MASSIVE_DATASETS,
+    SMALL_DATASETS,
+    TRUSS_VS_CORE_DATASETS,
+    DatasetSpec,
+    PaperStats,
+    dataset_names,
+    dataset_spec,
+    load_dataset,
+)
+from repro.datasets.running_example import (
+    EXAMPLE3_PARTITION,
+    RUNNING_EXAMPLE_CLASSES,
+    running_example_graph,
+    running_example_trussness,
+    vid,
+    vname,
+)
+
+__all__ = [
+    "erdos_renyi",
+    "barabasi_albert",
+    "powerlaw_graph",
+    "collaboration_graph",
+    "community_graph",
+    "star_heavy_graph",
+    "plant_clique",
+    "plant_biclique",
+    "manager_graph",
+    "clique_union_edges",
+    "MANAGER_CLIQUES",
+    "PERIPHERY_EDGES",
+    "PAPER_CLUSTERING",
+    "running_example_graph",
+    "running_example_trussness",
+    "RUNNING_EXAMPLE_CLASSES",
+    "EXAMPLE3_PARTITION",
+    "vid",
+    "vname",
+    "DatasetSpec",
+    "PaperStats",
+    "dataset_names",
+    "dataset_spec",
+    "load_dataset",
+    "IN_MEMORY_DATASETS",
+    "MASSIVE_DATASETS",
+    "SMALL_DATASETS",
+    "TRUSS_VS_CORE_DATASETS",
+]

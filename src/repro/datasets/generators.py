@@ -1,0 +1,236 @@
+"""Seeded synthetic graph generators.
+
+These stand in for the paper's nine real datasets (no network access in
+this environment — see DESIGN.md §3).  Each family reproduces the
+structural property that drives truss-decomposition behaviour:
+
+* :func:`erdos_renyi` — flat degrees, few triangles (P2P-like);
+* :func:`powerlaw_graph` — heavy-tailed degrees via a Chung-Lu style
+  model (web/social-like; hubs are what break Algorithm 1);
+* :func:`barabasi_albert` — preferential attachment (moderate hubs);
+* :func:`collaboration_graph` — a union of author cliques
+  (HEP-like; naturally large ``kmax``);
+* :func:`community_graph` — many small overlapping cliques plus noise
+  (Amazon co-purchase-like; high clustering, small ``kmax``);
+* :func:`plant_clique` / :func:`plant_biclique` — surgical insertion of
+  a ``K_c`` (pins ``kmax = c``) or a triangle-free ``K_{c,c}`` (pins a
+  high core number with trussness 2 — the k-core vs k-truss wedge of
+  Table 6).
+
+All generators take an explicit ``seed`` and are deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import GraphError
+from repro.graph.adjacency import Graph
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise GraphError(message)
+
+
+def erdos_renyi(n: int, m: int, seed: int = 0) -> Graph:
+    """G(n, m): ``m`` distinct uniform edges over ``n`` vertices."""
+    _require(n >= 2, "erdos_renyi needs n >= 2")
+    max_m = n * (n - 1) // 2
+    _require(0 <= m <= max_m, f"m={m} out of range for n={n}")
+    rng = random.Random(seed)
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    added = 0
+    while added < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and g.add_edge(u, v):
+            added += 1
+    return g
+
+
+def barabasi_albert(n: int, attach: int, seed: int = 0) -> Graph:
+    """Preferential attachment: each new vertex links to ``attach``
+    existing vertices chosen proportionally to degree."""
+    _require(attach >= 1, "attach must be >= 1")
+    _require(n > attach, "need n > attach")
+    rng = random.Random(seed)
+    g = Graph()
+    targets: List[int] = list(range(attach + 1))  # initial clique seed
+    for i in range(attach + 1):
+        for j in range(i + 1, attach + 1):
+            g.add_edge(i, j)
+    # repeated-endpoint list implements degree-proportional sampling
+    endpoint_pool: List[int] = []
+    for u, v in g.edges():
+        endpoint_pool.extend((u, v))
+    for v in range(attach + 1, n):
+        chosen: set = set()
+        while len(chosen) < attach:
+            chosen.add(endpoint_pool[rng.randrange(len(endpoint_pool))])
+        for u in chosen:
+            g.add_edge(v, u)
+            endpoint_pool.extend((u, v))
+    return g
+
+
+def powerlaw_graph(
+    n: int,
+    m: int,
+    exponent: float = 2.3,
+    seed: int = 0,
+    min_weight: float = 1.0,
+) -> Graph:
+    """Chung-Lu style: edge endpoints sampled by power-law weights.
+
+    Produces heavy-tailed degrees with median 1-5 depending on density —
+    the shape of the paper's Wiki/Skitter/Web datasets.
+    """
+    _require(n >= 2, "powerlaw_graph needs n >= 2")
+    _require(exponent > 1.0, "exponent must exceed 1")
+    rng = random.Random(seed)
+    weights = [min_weight * (i + 1) ** (-1.0 / (exponent - 1.0)) for i in range(n)]
+    # cumulative table for O(log n) sampling
+    cumulative: List[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cumulative.append(acc)
+    total = cumulative[-1]
+
+    def sample() -> int:
+        import bisect
+
+        return bisect.bisect_left(cumulative, rng.random() * total)
+
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    added = 0
+    attempts = 0
+    limit = 50 * m + 1000
+    while added < m and attempts < limit:
+        attempts += 1
+        u, v = sample(), sample()
+        if u != v and g.add_edge(u, v):
+            added += 1
+    return g
+
+
+def collaboration_graph(
+    n_authors: int,
+    n_papers: int,
+    seed: int = 0,
+    max_team: int = 30,
+) -> Graph:
+    """Union of author cliques: each paper's team forms a clique.
+
+    Team sizes follow a heavy-tailed distribution capped at
+    ``max_team``; a few large teams give collaboration networks their
+    naturally high ``kmax`` (the paper's HEP has ``kmax = 32``).
+    """
+    _require(n_authors >= 2, "need at least two authors")
+    rng = random.Random(seed)
+    g = Graph()
+    for v in range(n_authors):
+        g.add_vertex(v)
+    for _paper in range(n_papers):
+        # Zipf-ish team size >= 2
+        size = 2
+        while size < max_team and rng.random() < 0.42:
+            size += 1
+        team = rng.sample(range(n_authors), min(size, n_authors))
+        for i in range(len(team)):
+            for j in range(i + 1, len(team)):
+                g.add_edge(team[i], team[j])
+    return g
+
+
+def community_graph(
+    n: int,
+    n_communities: int,
+    community_size: int = 6,
+    noise_edges: int = 0,
+    seed: int = 0,
+) -> Graph:
+    """Overlapping small cliques plus uniform noise (Amazon-like)."""
+    _require(community_size >= 2, "community_size must be >= 2")
+    rng = random.Random(seed)
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for _c in range(n_communities):
+        size = rng.randint(2, community_size)
+        members = rng.sample(range(n), size)
+        for i in range(size):
+            for j in range(i + 1, size):
+                g.add_edge(members[i], members[j])
+    added = 0
+    while added < noise_edges:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and g.add_edge(u, v):
+            added += 1
+    return g
+
+
+def star_heavy_graph(
+    n: int, m: int, n_hubs: int = 20, seed: int = 0
+) -> Graph:
+    """A few huge hubs plus a sparse tail — median degree 1 (BTC/Wiki)."""
+    _require(n_hubs >= 1, "need at least one hub")
+    _require(n > n_hubs, "need more vertices than hubs")
+    rng = random.Random(seed)
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    added = 0
+    attempts = 0
+    while added < m and attempts < 50 * m + 1000:
+        attempts += 1
+        if rng.random() < 0.7:
+            u = rng.randrange(n_hubs)  # hub endpoint
+        else:
+            u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and g.add_edge(u, v):
+            added += 1
+    return g
+
+
+def plant_clique(g: Graph, size: int, seed: int = 0) -> List[int]:
+    """Embed ``K_size`` on random existing vertices; returns its members.
+
+    Pins ``kmax >= size`` (every clique edge has trussness >= size) and
+    ``cmax >= size - 1``.
+    """
+    _require(size >= 2, "clique size must be >= 2")
+    vertices = sorted(g.vertices())
+    _require(len(vertices) >= size, "graph too small for the clique")
+    rng = random.Random(seed)
+    members = rng.sample(vertices, size)
+    for i in range(size):
+        for j in range(i + 1, size):
+            g.add_edge(members[i], members[j])
+    return members
+
+
+def plant_biclique(g: Graph, side: int, seed: int = 0) -> List[int]:
+    """Embed a triangle-free ``K_{side,side}`` on random vertices.
+
+    Pins ``cmax >= side`` while contributing nothing to any k-truss
+    (bicliques have no triangles) — the Table 6 separator between cores
+    and trusses.
+    """
+    _require(side >= 1, "biclique side must be >= 1")
+    vertices = sorted(g.vertices())
+    _require(len(vertices) >= 2 * side, "graph too small for the biclique")
+    rng = random.Random(seed)
+    members = rng.sample(vertices, 2 * side)
+    left, right = members[:side], members[side:]
+    for u in left:
+        for v in right:
+            g.add_edge(u, v)
+    return members

@@ -1,0 +1,76 @@
+"""Reconstruction of Figure 1: the 21-manager "seek-advice-from" graph.
+
+The paper's Example 1 uses Krackhardt's high-tech managers network
+[19, 32, 15] but does not print its edge list, so we ship a
+deterministic 21-vertex reconstruction that reproduces **every property
+Example 1 asserts**:
+
+* the five 4-cliques named in the paper — ``{4,8,10,18}``,
+  ``{4,8,18,21}``, ``{5,10,18,19}``, ``{7,14,18,21}``, ``{10,15,18,19}``
+  — exist, and the 4-truss is *exactly* their union;
+* no 5-truss exists (``kmax = 4``) and no 4-core exists (``cmax = 3``);
+* the 3-core is non-empty but a proper subgraph of ``G``;
+* clustering coefficients are ordered ``CC(G) < CC(3-core) <
+  CC(4-truss)`` and numerically close to the paper's 0.51 / 0.65 / 0.80
+  (this reconstruction measures 0.50 / 0.64 / 0.80).
+
+The periphery edge set was found by seeded search against those
+constraints; it is frozen here as data so the figure regenerates
+byte-identically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph.adjacency import Graph
+
+#: The five 4-cliques the paper lists as surviving in the 4-truss.
+MANAGER_CLIQUES: List[Tuple[int, int, int, int]] = [
+    (4, 8, 10, 18),
+    (4, 8, 18, 21),
+    (5, 10, 18, 19),
+    (7, 14, 18, 21),
+    (10, 15, 18, 19),
+]
+
+#: Periphery edges (found by constraint search; see module docstring).
+PERIPHERY_EDGES: List[Tuple[int, int]] = [
+    (1, 4), (1, 17), (1, 20),
+    (2, 7), (2, 12),
+    (3, 9), (3, 19),
+    (5, 13),
+    (6, 10), (6, 12),
+    (7, 11), (7, 16),
+    (8, 12),
+    (9, 11), (9, 19),
+    (10, 12), (10, 20),
+    (11, 19),
+    (16, 18),
+    (17, 20), (17, 21),
+]
+
+#: The paper's reported clustering coefficients for G / 3-core / 4-truss.
+PAPER_CLUSTERING = (0.51, 0.65, 0.80)
+
+
+def manager_graph() -> Graph:
+    """The reconstructed Figure 1(a) graph (21 vertices, 43 edges)."""
+    g = Graph()
+    for clique in MANAGER_CLIQUES:
+        for i in range(4):
+            for j in range(i + 1, 4):
+                g.add_edge(clique[i], clique[j])
+    for u, v in PERIPHERY_EDGES:
+        g.add_edge(u, v)
+    return g
+
+
+def clique_union_edges() -> List[Tuple[int, int]]:
+    """The edges of the five cliques' union — the ground-truth 4-truss."""
+    g = Graph()
+    for clique in MANAGER_CLIQUES:
+        for i in range(4):
+            for j in range(i + 1, 4):
+                g.add_edge(clique[i], clique[j])
+    return g.sorted_edges()

@@ -1,0 +1,241 @@
+"""The nine-dataset registry: SNAP-like stand-ins for Table 2.
+
+Each entry scales the corresponding real dataset down to laptop size
+while matching the *structure* that drives the paper's experiments
+(degree-distribution family, clustering level, and planted dense cores
+that pin ``kmax`` — and, where Table 6 needs it, a dense triangle-poor
+biclique that pins ``cmax`` far above ``kmax``).  The paper's reported
+statistics ride along in :class:`PaperStats` so the benchmark tables can
+print paper-vs-measured side by side.
+
+Datasets are grouped the way the evaluation uses them:
+
+* ``IN_MEMORY_DATASETS`` — Table 3 (Wiki, Amazon, Skitter, Blog);
+* ``MASSIVE_DATASETS``   — Tables 4/5 (LJ, BTC, Web);
+* ``SMALL_DATASETS``     — the TD-MR-feasible pair (P2P, HEP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.datasets.generators import (
+    collaboration_graph,
+    community_graph,
+    erdos_renyi,
+    plant_biclique,
+    plant_clique,
+    powerlaw_graph,
+    star_heavy_graph,
+)
+from repro.errors import GraphError
+from repro.graph.adjacency import Graph
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """The row the paper's Table 2 reports for the real dataset."""
+
+    num_vertices: float
+    num_edges: float
+    max_degree: int
+    median_degree: int
+    kmax: int
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named synthetic stand-in and its generator."""
+
+    name: str
+    description: str
+    build: Callable[[float], Graph]
+    paper: PaperStats
+    expected_kmax: Optional[int] = None  # pinned by a planted clique
+
+
+def _scaled(value: int, scale: float, minimum: int = 16) -> int:
+    return max(minimum, int(value * scale))
+
+
+def _build_p2p(scale: float) -> Graph:
+    n, m = _scaled(6300, scale), _scaled(41600, scale)
+    g = erdos_renyi(n, min(m, n * (n - 1) // 2), seed=101)
+    plant_clique(g, 5, seed=102)
+    return g
+
+
+def _build_hep(scale: float) -> Graph:
+    n = _scaled(9900, scale)
+    papers = _scaled(15500, scale)
+    g = collaboration_graph(n, papers, seed=201, max_team=24)
+    plant_clique(g, 32, seed=202)
+    return g
+
+
+def _build_amazon(scale: float) -> Graph:
+    n = _scaled(25000, scale)
+    g = community_graph(
+        n,
+        n_communities=_scaled(14000, scale),
+        community_size=6,
+        noise_edges=_scaled(20000, scale),
+        seed=301,
+    )
+    plant_clique(g, 11, seed=302)
+    return g
+
+
+def _build_wiki(scale: float) -> Graph:
+    n, m = _scaled(24000, scale), _scaled(48000, scale)
+    g = star_heavy_graph(n, m, n_hubs=12, seed=401)
+    plant_clique(g, 53, seed=402)
+    plant_biclique(g, 65, seed=403)
+    return g
+
+
+def _build_skitter(scale: float) -> Graph:
+    n, m = _scaled(17000, scale), _scaled(95000, scale)
+    g = powerlaw_graph(n, m, exponent=2.1, seed=501)
+    plant_clique(g, 68, seed=502)
+    plant_biclique(g, 80, seed=503)
+    return g
+
+
+def _build_blog(scale: float) -> Graph:
+    n, m = _scaled(10000, scale), _scaled(100000, scale)
+    g = powerlaw_graph(n, m, exponent=2.4, seed=601)
+    plant_clique(g, 49, seed=602)
+    plant_biclique(g, 55, seed=603)
+    return g
+
+
+def _build_lj(scale: float) -> Graph:
+    n, m = _scaled(20000, scale), _scaled(110000, scale)
+    g = powerlaw_graph(n, m, exponent=2.5, seed=701)
+    plant_clique(g, 120, seed=702)
+    return g
+
+
+def _build_btc(scale: float) -> Graph:
+    n, m = _scaled(40000, scale), _scaled(80000, scale)
+    g = star_heavy_graph(n, m, n_hubs=25, seed=801)
+    plant_clique(g, 7, seed=802)
+    plant_biclique(g, 40, seed=803)
+    return g
+
+
+def _build_web(scale: float) -> Graph:
+    n, m = _scaled(30000, scale), _scaled(120000, scale)
+    g = powerlaw_graph(n, m, exponent=2.2, seed=901)
+    plant_clique(g, 100, seed=902)
+    return g
+
+
+_REGISTRY: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec(
+            "p2p",
+            "Gnutella peer-to-peer: flat degrees, nearly triangle-free",
+            _build_p2p,
+            PaperStats(6.3e3, 41.6e3, 97, 3, 5),
+            expected_kmax=5,
+        ),
+        DatasetSpec(
+            "hep",
+            "High-energy-physics collaboration: union of author cliques",
+            _build_hep,
+            PaperStats(9.9e3, 52.0e3, 65, 3, 32),
+            expected_kmax=32,
+        ),
+        DatasetSpec(
+            "amazon",
+            "Product co-purchase: many small overlapping communities",
+            _build_amazon,
+            PaperStats(0.4e6, 3.4e6, 2752, 10, 11),
+            expected_kmax=11,
+        ),
+        DatasetSpec(
+            "wiki",
+            "Wikipedia talk: extreme hubs, median degree 1",
+            _build_wiki,
+            PaperStats(2.4e6, 5.0e6, 100029, 1, 53),
+            expected_kmax=53,
+        ),
+        DatasetSpec(
+            "skitter",
+            "Internet topology: power-law with a dense backbone",
+            _build_skitter,
+            PaperStats(1.7e6, 11.0e6, 35455, 5, 68),
+            expected_kmax=68,
+        ),
+        DatasetSpec(
+            "blog",
+            "Blog co-occurrence: dense power-law",
+            _build_blog,
+            PaperStats(1.0e6, 12.8e6, 6154, 2, 49),
+            expected_kmax=49,
+        ),
+        DatasetSpec(
+            "lj",
+            "LiveJournal friendship: large communities, huge kmax",
+            _build_lj,
+            PaperStats(4.8e6, 69e6, 20333, 5, 362),
+            expected_kmax=120,
+        ),
+        DatasetSpec(
+            "btc",
+            "Billion Triple Challenge RDF: star-heavy, tiny kmax",
+            _build_btc,
+            PaperStats(165e6, 773e6, 1637619, 1, 7),
+            expected_kmax=7,
+        ),
+        DatasetSpec(
+            "web",
+            "UK web crawl: power-law with a massive dense core",
+            _build_web,
+            PaperStats(106e6, 1092e6, 36484, 2, 166),
+            expected_kmax=100,
+        ),
+    ]
+}
+
+#: Table 3's datasets (fit in memory in the paper).
+IN_MEMORY_DATASETS: Tuple[str, ...] = ("wiki", "amazon", "skitter", "blog")
+#: Tables 4/5's "massive" datasets.
+MASSIVE_DATASETS: Tuple[str, ...] = ("lj", "btc", "web")
+#: The only datasets TD-MR finished on in the paper.
+SMALL_DATASETS: Tuple[str, ...] = ("p2p", "hep")
+#: Table 6's datasets.
+TRUSS_VS_CORE_DATASETS: Tuple[str, ...] = (
+    "amazon", "wiki", "skitter", "blog", "lj", "btc", "web",
+)
+
+
+def dataset_names() -> List[str]:
+    """All registered dataset names, in Table 2 order."""
+    return list(_REGISTRY)
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Look up a dataset spec by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise GraphError(
+            f"unknown dataset {name!r}; known: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def load_dataset(name: str, scale: float = 1.0) -> Graph:
+    """Generate the stand-in for ``name`` at the given scale.
+
+    ``scale=1.0`` is the default benchmark size (laptop-friendly);
+    smaller scales shrink the background graph but keep the planted
+    cores, so ``kmax`` stays pinned.
+    """
+    if scale <= 0:
+        raise GraphError(f"scale must be positive, got {scale}")
+    return dataset_spec(name).build(scale)

@@ -1,0 +1,72 @@
+"""The paper's running example: the graph of Figure 2 / Example 2.
+
+The 12-vertex graph ``a..l`` whose k-classes the paper states exactly:
+
+* ``Phi_2 = {(i,k)}``
+* ``Phi_3 = {(d,g), (d,k), (d,l), (e,f), (e,g), (f,g), (g,h), (g,k), (g,l)}``
+* ``Phi_4`` = the 6 edges of the clique ``{f, h, i, j}``
+* ``Phi_5`` = the 10 edges of the clique ``{a, b, c, d, e}``
+* ``kmax = 5``
+
+Example 3 also fixes the partition ``P1 = {a,b,c,l}``, ``P2 = {d,e,f,g}``,
+``P3 = {h,i,j,k}`` used to walk through the bottom-up stages; Example 5
+walks the top-down stages on the same graph.  Tests replay both traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graph.adjacency import Graph
+from repro.graph.edges import Edge, norm_edge
+
+VERTEX_NAMES = "abcdefghijkl"
+"""Vertex i of the graph corresponds to letter VERTEX_NAMES[i]."""
+
+_ID = {name: i for i, name in enumerate(VERTEX_NAMES)}
+
+
+def vid(name: str) -> int:
+    """Vertex id of a letter name (``'a'`` → 0)."""
+    return _ID[name]
+
+
+def vname(v: int) -> str:
+    """Letter name of a vertex id (0 → ``'a'``)."""
+    return VERTEX_NAMES[v]
+
+
+def _edges(spec: str) -> List[Edge]:
+    """Parse 'ab cd ef' into canonical integer edges."""
+    return [norm_edge(_ID[s[0]], _ID[s[1]]) for s in spec.split()]
+
+
+#: Ground-truth k-classes exactly as printed in Example 2.
+RUNNING_EXAMPLE_CLASSES: Dict[int, List[Edge]] = {
+    2: _edges("ik"),
+    3: _edges("dg dk dl ef eg fg gh gk gl"),
+    4: _edges("fh fi fj hi hj ij"),
+    5: _edges("ab ac ad ae bc bd be cd ce de"),
+}
+
+#: Example 3's partition of the vertex set (bottom-up walkthrough).
+EXAMPLE3_PARTITION: List[List[int]] = [
+    [_ID[c] for c in "abcl"],
+    [_ID[c] for c in "defg"],
+    [_ID[c] for c in "hijk"],
+]
+
+
+def running_example_graph() -> Graph:
+    """The Figure 2 graph (26 edges, 12 vertices, kmax = 5)."""
+    g = Graph()
+    for edges in RUNNING_EXAMPLE_CLASSES.values():
+        g.add_edges(edges)
+    return g
+
+
+def running_example_trussness() -> Dict[Edge, int]:
+    """Ground-truth phi(e) for every edge of the running example."""
+    return {
+        e: k for k, edges in RUNNING_EXAMPLE_CLASSES.items() for e in edges
+    }

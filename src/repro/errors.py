@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate normally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or query (self-loop, missing vertex...)."""
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An operation referenced an edge that is not present in the graph."""
+
+    def __init__(self, u: int, v: int) -> None:
+        super().__init__(f"edge ({u}, {v}) not in graph")
+        self.u = u
+        self.v = v
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """An operation referenced a vertex that is not present in the graph."""
+
+    def __init__(self, v: int) -> None:
+        super().__init__(f"vertex {v} not in graph")
+        self.vertex = v
+
+
+class FormatError(ReproError):
+    """A file or byte stream did not match the expected on-disk format."""
+
+
+class MemoryBudgetError(ReproError):
+    """An external-memory operation would exceed its declared budget."""
+
+
+class DecompositionError(ReproError):
+    """A truss/core decomposition was invoked with inconsistent arguments."""

@@ -1,0 +1,41 @@
+"""External-memory substrate: the (M, B) I/O model made executable.
+
+Components::
+
+    IOStats           block-granular I/O counters (scan(N) accounting)
+    MemoryBudget      the paper's M, in |G| = n + m units
+    BlockReader/BlockWriter   sequential block-buffered file access
+    RecordCodec       fixed-width record encode/decode (EDGE, ATTR_EDGE)
+    ExternalSorter    bounded-memory multi-pass merge sort
+    DiskEdgeFile      attributed edge file (the on-disk Gnew)
+    DiskAdjacencyGraph  adjacency-list graph file in ascending-id order
+"""
+
+from repro.exio.blockfile import BlockReader, BlockWriter, file_size, remove_if_exists
+from repro.exio.bufferpool import BufferPool
+from repro.exio.diskgraph import DiskAdjacencyGraph
+from repro.exio.edgefile import AttrEdge, DiskEdgeFile
+from repro.exio.extsort import ExternalSorter
+from repro.exio.iostats import DEFAULT_BLOCK_SIZE, IOStats
+from repro.exio.memory import UNBOUNDED, MemoryBudget
+from repro.exio.records import ATTR_EDGE, DIRECTED, EDGE, RecordCodec
+
+__all__ = [
+    "IOStats",
+    "DEFAULT_BLOCK_SIZE",
+    "MemoryBudget",
+    "UNBOUNDED",
+    "BlockReader",
+    "BlockWriter",
+    "BufferPool",
+    "file_size",
+    "remove_if_exists",
+    "RecordCodec",
+    "EDGE",
+    "ATTR_EDGE",
+    "DIRECTED",
+    "ExternalSorter",
+    "DiskEdgeFile",
+    "AttrEdge",
+    "DiskAdjacencyGraph",
+]

@@ -1,0 +1,158 @@
+"""Block-granular sequential file access with I/O accounting.
+
+These are the only code paths in the library that touch the filesystem
+for algorithmic data.  Reads and writes go through block-sized buffers
+and charge :class:`repro.exio.iostats.IOStats` per block, so measured
+I/O counts line up with the paper's ``scan(N)`` analysis regardless of
+what the OS page cache does underneath.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from types import TracebackType
+from typing import Iterator, Optional, Type, Union
+
+from repro.exio.iostats import IOStats
+
+PathLike = Union[str, Path]
+
+
+class BlockWriter:
+    """Append-only writer that flushes in whole blocks.
+
+    Use as a context manager::
+
+        with BlockWriter(path, stats) as w:
+            w.write(record_bytes)
+    """
+
+    def __init__(self, path: PathLike, stats: IOStats, append: bool = False) -> None:
+        self._path = Path(path)
+        self._stats = stats
+        self._buf = bytearray()
+        self._file = open(self._path, "ab" if append else "wb")
+        self._closed = False
+        self.bytes_written = 0
+
+    def write(self, data: bytes) -> None:
+        """Buffer ``data``; flush full blocks as they fill."""
+        if self._closed:
+            raise ValueError("write to closed BlockWriter")
+        self._buf.extend(data)
+        self.bytes_written += len(data)
+        bs = self._stats.block_size
+        while len(self._buf) >= bs:
+            self._file.write(self._buf[:bs])
+            self._stats.account_write(bs)
+            del self._buf[:bs]
+
+    def close(self) -> None:
+        """Flush the final partial block and close the file."""
+        if self._closed:
+            return
+        if self._buf:
+            self._file.write(bytes(self._buf))
+            self._stats.account_write(len(self._buf))
+            self._buf.clear()
+        self._file.close()
+        self._closed = True
+
+    def __enter__(self) -> "BlockWriter":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()
+
+
+class BlockReader:
+    """Sequential reader that fetches one block per underlying read.
+
+    Iterating yields raw byte chunks (at most one block each); most
+    callers use :meth:`read_exactly` through a codec instead.
+    """
+
+    def __init__(self, path: PathLike, stats: IOStats) -> None:
+        self._path = Path(path)
+        self._stats = stats
+        self._file = open(self._path, "rb")
+        self._pending = b""
+        self._closed = False
+        stats.begin_scan()
+
+    def _fill(self) -> bool:
+        """Fetch the next block; return False at EOF."""
+        chunk = self._file.read(self._stats.block_size)
+        if not chunk:
+            return False
+        self._stats.account_read(len(chunk))
+        self._pending += chunk
+        return True
+
+    def read_block(self) -> bytes:
+        """Return the next block (or final partial block); b'' at EOF.
+
+        Consumes any bytes already buffered by :meth:`read_exactly`
+        first, so the two access styles can be mixed safely.
+        """
+        if self._pending:
+            out, self._pending = self._pending, b""
+            return out
+        chunk = self._file.read(self._stats.block_size)
+        if chunk:
+            self._stats.account_read(len(chunk))
+        return chunk
+
+    def read_exactly(self, n: int) -> bytes:
+        """Return exactly ``n`` bytes, or ``b''`` at clean EOF.
+
+        Raises ``EOFError`` if the file ends mid-record.
+        """
+        while len(self._pending) < n:
+            if not self._fill():
+                if not self._pending:
+                    return b""
+                raise EOFError(
+                    f"{self._path}: truncated record "
+                    f"(wanted {n} bytes, got {len(self._pending)})"
+                )
+        out, self._pending = self._pending[:n], self._pending[n:]
+        return out
+
+    def close(self) -> None:
+        if not self._closed:
+            self._file.close()
+            self._closed = True
+
+    def __enter__(self) -> "BlockReader":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()
+
+
+def file_size(path: PathLike) -> int:
+    """Size of a file in bytes (0 if it does not exist)."""
+    try:
+        return os.path.getsize(path)
+    except OSError:
+        return 0
+
+
+def remove_if_exists(path: PathLike) -> None:
+    """Best-effort unlink used for temp run files."""
+    try:
+        os.unlink(path)
+    except OSError:
+        pass

@@ -1,0 +1,158 @@
+"""On-disk adjacency-list graphs built by external sort.
+
+The paper assumes the input graph is stored on disk in adjacency-list
+representation with vertices in ascending id order (Section 2).  This
+module materializes that representation for graphs that never fit in
+memory: edges are doubled into directed pairs, externally sorted by
+``(src, dst)``, and grouped into variable-length vertex records::
+
+    [vid: i64][deg: i64][nbr_0: i64]...[nbr_{deg-1}: i64]
+
+Scans stream vertices in ascending id order with their full adjacency —
+the access pattern every partitioner in :mod:`repro.partition` consumes.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.errors import FormatError
+from repro.exio.blockfile import BlockReader, BlockWriter, remove_if_exists
+from repro.exio.extsort import ExternalSorter
+from repro.exio.iostats import IOStats
+from repro.exio.records import DIRECTED
+from repro.graph.adjacency import Graph
+from repro.graph.edges import Edge, norm_edge
+
+_HEADER = struct.Struct("<qq")
+_ID = struct.Struct("<q")
+
+
+class DiskAdjacencyGraph:
+    """A read-only adjacency-list graph file with I/O accounting."""
+
+    def __init__(self, path: Path, stats: IOStats, n: int, m: int) -> None:
+        self.path = Path(path)
+        self.stats = stats
+        self.num_vertices = n
+        self.num_edges = m
+
+    @property
+    def size(self) -> int:
+        """The paper's ``|G| = n + m`` in units."""
+        return self.num_vertices + self.num_edges
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build_from_edges(
+        cls,
+        edges: Iterable[Edge],
+        path: Path,
+        stats: IOStats,
+        workdir: Path,
+        memory_records: int = 1 << 16,
+    ) -> "DiskAdjacencyGraph":
+        """Construct the adjacency file from an edge stream.
+
+        Uses one external sort of ``2m`` directed records under the given
+        record budget, then a single grouping scan.  Duplicate edges
+        collapse; self-loops raise.
+        """
+        sorter = ExternalSorter(
+            DIRECTED, Path(workdir), stats, memory_records=memory_records
+        )
+
+        def directed_pairs() -> Iterator[Tuple[int, int]]:
+            for u, v in edges:
+                u, v = norm_edge(u, v)
+                yield (u, v)
+                yield (v, u)
+
+        path = Path(path)
+        remove_if_exists(path)
+        n = 0
+        m2 = 0  # directed (doubled) edge count after dedup
+        with BlockWriter(path, stats) as w:
+            cur_src: int = 0
+            cur_nbrs: List[int] = []
+            have_cur = False
+
+            def flush() -> None:
+                nonlocal n, m2
+                w.write(_HEADER.pack(cur_src, len(cur_nbrs)))
+                for x in cur_nbrs:
+                    w.write(_ID.pack(x))
+                n += 1
+                m2 += len(cur_nbrs)
+
+            for src, dst in sorter.sort_iter(directed_pairs()):
+                if have_cur and src != cur_src:
+                    flush()
+                    cur_nbrs = []
+                if not have_cur or src != cur_src:
+                    cur_src = src
+                    have_cur = True
+                if not cur_nbrs or cur_nbrs[-1] != dst:  # dedup sorted run
+                    cur_nbrs.append(dst)
+            if have_cur:
+                flush()
+        if m2 % 2:
+            raise FormatError("directed degree sum is odd; input was not symmetric")
+        return cls(path, stats, n=n, m=m2 // 2)
+
+    @classmethod
+    def build_from_graph(
+        cls,
+        g: Graph,
+        path: Path,
+        stats: IOStats,
+        workdir: Path,
+        memory_records: int = 1 << 16,
+    ) -> "DiskAdjacencyGraph":
+        """Spill an in-memory graph to its on-disk representation."""
+        return cls.build_from_edges(
+            g.edges(), path, stats, workdir, memory_records=memory_records
+        )
+
+    # ------------------------------------------------------------------
+    def scan(self) -> Iterator[Tuple[int, List[int]]]:
+        """Stream ``(vertex, sorted neighbor list)`` in ascending order."""
+        with BlockReader(self.path, self.stats) as r:
+            while True:
+                head = r.read_exactly(_HEADER.size)
+                if not head:
+                    return
+                vid, deg = _HEADER.unpack(head)
+                if deg < 0:
+                    raise FormatError(f"{self.path}: negative degree for {vid}")
+                nbrs = [
+                    _ID.unpack(r.read_exactly(_ID.size))[0] for i in range(deg)
+                ]
+                yield vid, nbrs
+
+    def scan_edges(self) -> Iterator[Edge]:
+        """Stream canonical edges (each once) in one scan."""
+        for v, nbrs in self.scan():
+            for w in nbrs:
+                if v < w:
+                    yield (v, w)
+
+    def scan_vertices(self) -> Iterator[Tuple[int, int]]:
+        """Stream ``(vertex, degree)`` pairs in one scan."""
+        for v, nbrs in self.scan():
+            yield v, len(nbrs)
+
+    def to_graph(self) -> Graph:
+        """Load the whole graph into memory (for small graphs/tests)."""
+        g = Graph()
+        for v, nbrs in self.scan():
+            g.add_vertex(v)
+            for w in nbrs:
+                g.add_edge(v, w)
+        return g
+
+    def delete(self) -> None:
+        """Remove the backing file."""
+        remove_if_exists(self.path)

@@ -1,0 +1,164 @@
+"""Attributed edge files: the on-disk form of the shrinking graph Gnew.
+
+Both external algorithms keep the working graph as "a list of edges on
+disk" (Section 5.1), each edge carrying one integer attribute:
+
+* bottom-up — the lower bound φ(e) produced by LowerBounding;
+* top-down  — the support sup(e), later replaced by the upper bound ψ(e).
+
+The file only ever experiences three access patterns, all sequential:
+full scans, appends, and filtered rewrites (e.g. "delete everything in
+Φ_k").  Random access is deliberately *not* offered; that restriction is
+what makes the measured I/O match the paper's scan-based analysis.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.exio.blockfile import BlockReader, BlockWriter, file_size, remove_if_exists
+from repro.exio.iostats import IOStats
+from repro.exio.records import ATTR_EDGE
+from repro.graph.edges import Edge, norm_edge
+
+AttrEdge = Tuple[int, int, int]
+
+
+class DiskEdgeFile:
+    """A sequential file of ``(u, v, attr)`` records with I/O accounting.
+
+    Edges are stored in canonical orientation (``u < v``).  The record
+    count is tracked in memory and re-derivable from the file length.
+    """
+
+    def __init__(self, path: Path, stats: IOStats) -> None:
+        self.path = Path(path)
+        self.stats = stats
+        if not self.path.exists():
+            self.path.touch()
+        self._count = ATTR_EDGE.count_in(file_size(self.path))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(
+        cls, path: Path, records: Iterable[AttrEdge], stats: IOStats
+    ) -> "DiskEdgeFile":
+        """Create a fresh file from ``(u, v, attr)`` triples."""
+        path = Path(path)
+        remove_if_exists(path)
+        f = cls(path, stats)
+        f.append(records)
+        return f
+
+    @classmethod
+    def from_edges(
+        cls, path: Path, edges: Iterable[Edge], stats: IOStats, attr: int = 0
+    ) -> "DiskEdgeFile":
+        """Create a file from plain edges with a constant attribute."""
+        return cls.from_records(
+            path, ((u, v, attr) for u, v in edges), stats
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the file holds no edges."""
+        return self._count == 0
+
+    @property
+    def size_bytes(self) -> int:
+        """Current file length in bytes."""
+        return self._count * ATTR_EDGE.size
+
+    def scan(self) -> Iterator[AttrEdge]:
+        """One sequential pass over all records (charged as a scan)."""
+        with BlockReader(self.path, self.stats) as r:
+            yield from ATTR_EDGE.read_stream(r)
+
+    def scan_edges(self) -> Iterator[Edge]:
+        """Sequential pass yielding only the ``(u, v)`` pairs."""
+        for u, v, _attr in self.scan():
+            yield (u, v)
+
+    def append(self, records: Iterable[AttrEdge]) -> int:
+        """Append triples (normalizing orientation); return the count."""
+        with BlockWriter(self.path, self.stats, append=True) as w:
+            added = ATTR_EDGE.write_stream(
+                w, ((*norm_edge(u, v), attr) for u, v, attr in records)
+            )
+        self._count += added
+        return added
+
+    # ------------------------------------------------------------------
+    def rewrite(
+        self, transform: Callable[[AttrEdge], Optional[AttrEdge]]
+    ) -> int:
+        """Stream every record through ``transform`` into a new file.
+
+        ``transform`` returns the (possibly modified) record, or ``None``
+        to drop it.  The rewrite costs one read scan plus one write scan,
+        exactly like the paper's "reading Gnew and re-writing the reduced
+        Gnew back to disk".  Returns the number of surviving records.
+        """
+        tmp = self.path.with_suffix(self.path.suffix + ".rewrite")
+        kept = 0
+        with BlockWriter(tmp, self.stats) as w:
+            for rec in self.scan():
+                out = transform(rec)
+                if out is not None:
+                    w.write(ATTR_EDGE.pack(*out))
+                    kept += 1
+        os.replace(tmp, self.path)
+        self._count = kept
+        return kept
+
+    def remove_edges(
+        self, edges: Iterable[Edge], chunk_size: Optional[int] = None
+    ) -> int:
+        """Delete a set of edges, chunking if it exceeds memory.
+
+        When ``chunk_size`` is given and the edge set is larger, the file
+        is rewritten once per chunk — the paper's ``|Φk|/M`` scans of
+        ``Gnew`` (Section 5.2).  Returns the number of edges removed.
+        """
+        normalized = [norm_edge(u, v) for u, v in edges]
+        if not normalized:
+            return 0
+        before = self._count
+        if chunk_size is None or chunk_size >= len(normalized):
+            chunks = [set(normalized)]
+        else:
+            chunks = [
+                set(normalized[i : i + chunk_size])
+                for i in range(0, len(normalized), chunk_size)
+            ]
+        for chunk in chunks:
+            self.rewrite(
+                lambda rec, dead=chunk: None if (rec[0], rec[1]) in dead else rec
+            )
+        return before - self._count
+
+    def update_attrs(self, new_attrs: "dict[Edge, int]") -> int:
+        """Rewrite attributes for the given edges (others unchanged)."""
+        updated = 0
+
+        def transform(rec: AttrEdge) -> AttrEdge:
+            nonlocal updated
+            key = (rec[0], rec[1])
+            if key in new_attrs:
+                updated += 1
+                return (rec[0], rec[1], new_attrs[key])
+            return rec
+
+        self.rewrite(transform)
+        return updated
+
+    def delete(self) -> None:
+        """Remove the backing file."""
+        remove_if_exists(self.path)
+        self._count = 0

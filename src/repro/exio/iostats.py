@@ -1,0 +1,122 @@
+"""I/O accounting in the Aggarwal–Vitter external-memory model.
+
+The paper analyses its algorithms in the standard ``(M, B)`` model
+(Section 2, Table 1): data moves between disk and memory in blocks of
+``B`` items, and reading or writing ``N`` items costs ``scan(N) =
+Θ(N/B)`` I/Os.  Every disk-touching component in :mod:`repro.exio`
+threads an :class:`IOStats` through its reads and writes so experiments
+can report *measured* I/O counts next to wall-clock time — this is how
+the benchmark harness demonstrates the paper's I/O-complexity claims
+(e.g. Theorem 3's ``O((m/M + kmax) · scan(|G|))``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+DEFAULT_BLOCK_SIZE = 4096
+"""Default block size in bytes (a common filesystem page)."""
+
+
+@dataclass
+class IOStats:
+    """Mutable I/O counters for one experiment or one component.
+
+    ``block_size`` is ``B`` in bytes.  Byte counts are exact; block
+    counts charge ceil(bytes/B) per sequential transfer, matching the
+    model's convention that a partial block still costs one I/O.
+    """
+
+    block_size: int = DEFAULT_BLOCK_SIZE
+    blocks_read: int = 0
+    blocks_written: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    scans_started: int = 0
+    seeks: int = 0
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+
+    # ------------------------------------------------------------------
+    def blocks_for(self, nbytes: int) -> int:
+        """ceil(nbytes / B): the I/O cost of one sequential transfer."""
+        if nbytes <= 0:
+            return 0
+        return -(-nbytes // self.block_size)
+
+    def account_read(self, nbytes: int) -> None:
+        """Charge a sequential read of ``nbytes``."""
+        self.bytes_read += nbytes
+        self.blocks_read += self.blocks_for(nbytes)
+
+    def account_write(self, nbytes: int) -> None:
+        """Charge a sequential write of ``nbytes``."""
+        self.bytes_written += nbytes
+        self.blocks_written += self.blocks_for(nbytes)
+
+    def account_seek(self) -> None:
+        """Charge a random repositioning (the thing the paper avoids)."""
+        self.seeks += 1
+
+    def begin_scan(self) -> None:
+        """Record that a full sequential scan of some file started."""
+        self.scans_started += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def total_blocks(self) -> int:
+        """Total block I/Os (reads + writes)."""
+        return self.blocks_read + self.blocks_written
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved (read + written)."""
+        return self.bytes_read + self.bytes_written
+
+    def merge(self, other: "IOStats") -> None:
+        """Fold another counter into this one (block sizes must agree)."""
+        if other.block_size != self.block_size:
+            raise ValueError(
+                f"cannot merge IOStats with different block sizes "
+                f"({self.block_size} vs {other.block_size})"
+            )
+        self.blocks_read += other.blocks_read
+        self.blocks_written += other.blocks_written
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.scans_started += other.scans_started
+        self.seeks += other.seeks
+
+    def snapshot(self) -> "IOStats":
+        """An independent copy of the current counters."""
+        return IOStats(
+            block_size=self.block_size,
+            blocks_read=self.blocks_read,
+            blocks_written=self.blocks_written,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            scans_started=self.scans_started,
+            seeks=self.seeks,
+        )
+
+    def delta_since(self, earlier: "IOStats") -> "IOStats":
+        """Counters accumulated since an earlier :meth:`snapshot`."""
+        return IOStats(
+            block_size=self.block_size,
+            blocks_read=self.blocks_read - earlier.blocks_read,
+            blocks_written=self.blocks_written - earlier.blocks_written,
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+            scans_started=self.scans_started - earlier.scans_started,
+            seeks=self.seeks - earlier.seeks,
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        return (
+            f"I/O: {self.blocks_read} blk read, {self.blocks_written} blk written "
+            f"({self.bytes_read}B / {self.bytes_written}B), "
+            f"{self.scans_started} scans, {self.seeks} seeks, B={self.block_size}"
+        )

@@ -1,0 +1,66 @@
+"""The memory budget ``M`` of the external-memory model.
+
+The paper measures graphs and memory in the same unit: ``|G| = m + n``
+(one unit per vertex or edge, Table 1).  Partitioning then targets
+``p >= 2|G|/M`` parts so every neighborhood subgraph ``NS(P_i)`` fits in
+memory.  :class:`MemoryBudget` keeps that arithmetic in one place and is
+the single switch experiments use to simulate "graph does not fit in
+main memory" on machines with plenty of physical RAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MemoryBudgetError
+from repro.graph.adjacency import Graph
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """An ``M``-unit memory budget (1 unit = one vertex or one edge)."""
+
+    units: int
+
+    def __post_init__(self) -> None:
+        if self.units < 4:
+            raise MemoryBudgetError(
+                f"memory budget of {self.units} units is too small to hold "
+                "even a single edge with its endpoints"
+            )
+
+    # ------------------------------------------------------------------
+    def fits(self, size_units: int) -> bool:
+        """Whether a structure of ``size_units`` (= n + m) fits."""
+        return size_units <= self.units
+
+    def fits_graph(self, g: Graph) -> bool:
+        """Whether an in-memory graph fits (``|G| = n + m <= M``)."""
+        return self.fits(g.size)
+
+    def num_partitions(self, size_units: int) -> int:
+        """The paper's ``p >= 2|G|/M`` partition count (at least 1)."""
+        if size_units <= 0:
+            return 1
+        return max(1, -(-2 * size_units // self.units))
+
+    def partition_capacity(self) -> int:
+        """Target size of one partition's neighborhood subgraph: M/2.
+
+        Algorithm 3 partitions into ``p >= 2|G|/M`` parts precisely so
+        each part's subgraph occupies about half of memory, leaving the
+        other half for working state (supports, bins, hash table).
+        """
+        return max(2, self.units // 2)
+
+    def require_fits(self, size_units: int, what: str) -> None:
+        """Raise :class:`MemoryBudgetError` if a structure cannot fit."""
+        if not self.fits(size_units):
+            raise MemoryBudgetError(
+                f"{what} needs {size_units} units but the budget is "
+                f"{self.units} units"
+            )
+
+
+UNBOUNDED = MemoryBudget(units=2**62)
+"""A budget so large everything fits — the in-memory special case."""

@@ -1,0 +1,80 @@
+"""In-memory graph substrate: simple undirected graphs and views.
+
+Public surface::
+
+    Graph                     mutable adjacency-set graph
+    CSRGraph                  immutable CSR snapshot
+    EdgeTable, norm_edge      edge canonicalization and dense ids
+    neighborhood_subgraph     Definition 4's NS(U)
+    from_edges, read_edge_list, ...   constructors and (de)serialization
+"""
+
+from repro.graph.adjacency import Graph
+from repro.graph.components import (
+    connected_components,
+    largest_component,
+    num_connected_components,
+)
+from repro.graph.builders import (
+    CleaningReport,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    from_edges,
+    from_edges_cleaned,
+    path_graph,
+    relabel_compact,
+    star_graph,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.edges import Edge, EdgeTable, dedup_edges, norm_edge, norm_edges
+from repro.graph.io import (
+    iter_binary_edges,
+    iter_edge_list,
+    read_adjacency_list,
+    read_binary_edges,
+    read_edge_list,
+    write_adjacency_list,
+    write_binary_edges,
+    write_edge_list,
+)
+from repro.graph.views import (
+    NeighborhoodSubgraph,
+    neighborhood_subgraph,
+    neighborhood_subgraph_from_edges,
+    union_edge_subgraph,
+)
+
+__all__ = [
+    "Graph",
+    "CSRGraph",
+    "connected_components",
+    "num_connected_components",
+    "largest_component",
+    "Edge",
+    "EdgeTable",
+    "norm_edge",
+    "norm_edges",
+    "dedup_edges",
+    "NeighborhoodSubgraph",
+    "neighborhood_subgraph",
+    "neighborhood_subgraph_from_edges",
+    "union_edge_subgraph",
+    "CleaningReport",
+    "from_edges",
+    "from_edges_cleaned",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "disjoint_union",
+    "relabel_compact",
+    "read_edge_list",
+    "write_edge_list",
+    "iter_edge_list",
+    "read_adjacency_list",
+    "write_adjacency_list",
+    "read_binary_edges",
+    "write_binary_edges",
+    "iter_binary_edges",
+]

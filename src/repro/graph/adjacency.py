@@ -1,0 +1,229 @@
+"""The central in-memory graph type: an undirected simple graph.
+
+The representation is a dict of adjacency *sets* — the Python analogue of
+the paper's adjacency-list representation (Section 2) with O(1) expected
+membership tests, which Algorithm 2 needs for its Step 8 edge lookups.
+
+Vertices are arbitrary integers.  The class enforces simplicity: no
+self-loops, no parallel edges.  Mutation is cheap and local so that the
+peeling algorithms can remove edges one at a time; bulk analytics convert
+to :class:`repro.graph.csr.CSRGraph` first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
+from repro.graph.edges import Edge, norm_edge
+
+
+class Graph:
+    """Mutable undirected simple graph backed by adjacency sets.
+
+    >>> g = Graph([(1, 2), (2, 3)])
+    >>> sorted(g.neighbors(2))
+    [1, 3]
+    >>> g.num_vertices, g.num_edges
+    (3, 2)
+    """
+
+    __slots__ = ("_adj", "_m")
+
+    def __init__(self, edges: Optional[Iterable[Tuple[int, int]]] = None) -> None:
+        self._adj: Dict[int, Set[int]] = {}
+        self._m = 0
+        if edges is not None:
+            self.add_edges(edges)
+
+    # ------------------------------------------------------------------
+    # construction / mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: int) -> None:
+        """Ensure ``v`` exists (possibly isolated)."""
+        if v not in self._adj:
+            self._adj[v] = set()
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert the undirected edge; return ``True`` if it was new."""
+        u, v = norm_edge(u, v)
+        nu = self._adj.setdefault(u, set())
+        if v in nu:
+            return False
+        nu.add(v)
+        self._adj.setdefault(v, set()).add(u)
+        self._m += 1
+        return True
+
+    def add_edges(self, edges: Iterable[Tuple[int, int]]) -> None:
+        """Insert every edge of an iterable of pairs."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete the edge; raise :class:`EdgeNotFoundError` if absent.
+
+        Endpoints are kept even if they become isolated — the peeling
+        algorithms reason about a fixed vertex universe.
+        """
+        u, v = norm_edge(u, v)
+        nu = self._adj.get(u)
+        if nu is None or v not in nu:
+            raise EdgeNotFoundError(u, v)
+        nu.discard(v)
+        self._adj[v].discard(u)
+        self._m -= 1
+
+    def discard_edge(self, u: int, v: int) -> bool:
+        """Delete the edge if present; return whether it existed."""
+        try:
+            self.remove_edge(u, v)
+        except EdgeNotFoundError:
+            return False
+        return True
+
+    def remove_vertex(self, v: int) -> None:
+        """Delete ``v`` and all incident edges."""
+        nbrs = self._adj.pop(v, None)
+        if nbrs is None:
+            raise VertexNotFoundError(v)
+        for w in nbrs:
+            self._adj[w].discard(v)
+        self._m -= len(nbrs)
+
+    def drop_isolated_vertices(self) -> int:
+        """Remove degree-0 vertices; return how many were removed."""
+        isolated = [v for v, nbrs in self._adj.items() if not nbrs]
+        for v in isolated:
+            del self._adj[v]
+        return len(isolated)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, v: int) -> bool:
+        return v in self._adj
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._adj)
+
+    def has_vertex(self, v: int) -> bool:
+        """Whether ``v`` is a vertex of the graph."""
+        return v in self._adj
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``(u, v)`` is present."""
+        if u == v:
+            return False
+        nu = self._adj.get(u)
+        return nu is not None and v in nu
+
+    def neighbors(self, v: int) -> Set[int]:
+        """The adjacency set ``nb(v)``.  The returned set is live; callers
+        that mutate the graph while iterating must copy it first."""
+        try:
+            return self._adj[v]
+        except KeyError:
+            raise VertexNotFoundError(v) from None
+
+    def degree(self, v: int) -> int:
+        """``deg(v) = |nb(v)|``."""
+        return len(self.neighbors(v))
+
+    def common_neighbors(self, u: int, v: int) -> Set[int]:
+        """``nb(u) ∩ nb(v)`` — the triangle partners of edge ``(u, v)``.
+
+        Intersects starting from the smaller set, which is exactly the
+        optimization that separates Algorithm 2 from Algorithm 1.
+        """
+        nu, nv = self.neighbors(u), self.neighbors(v)
+        if len(nu) > len(nv):
+            nu, nv = nv, nu
+        return nu & nv
+
+    @property
+    def num_vertices(self) -> int:
+        """``n = |V|``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """``m = |E|``."""
+        return self._m
+
+    @property
+    def size(self) -> int:
+        """The paper's ``|G| = m + n``."""
+        return self._m + len(self._adj)
+
+    def vertices(self) -> Iterator[int]:
+        """Iterate over the vertex set."""
+        return iter(self._adj)
+
+    def sorted_vertices(self) -> List[int]:
+        """Vertices in ascending id order (the paper's vertex order)."""
+        return sorted(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over canonical edges ``(u, v)`` with ``u < v``."""
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if u < v:
+                    yield (u, v)
+
+    def sorted_edges(self) -> List[Edge]:
+        """All edges in deterministic lexicographic order."""
+        return sorted(self.edges())
+
+    def max_degree(self) -> int:
+        """``dmax``; 0 for an empty graph."""
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    def degree_sequence(self) -> List[int]:
+        """All vertex degrees, unsorted."""
+        return [len(nbrs) for nbrs in self._adj.values()]
+
+    # ------------------------------------------------------------------
+    # copies / derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """A deep structural copy."""
+        g = Graph()
+        g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        g._m = self._m
+        return g
+
+    def subgraph(self, vertices: Iterable[int]) -> "Graph":
+        """The induced subgraph ``G[U]`` (only vertices present in G)."""
+        keep = {v for v in vertices if v in self._adj}
+        g = Graph()
+        for v in keep:
+            g.add_vertex(v)
+        for v in keep:
+            for w in self._adj[v]:
+                if v < w and w in keep:
+                    g.add_edge(v, w)
+        return g
+
+    def edge_subgraph(self, edges: Iterable[Tuple[int, int]]) -> "Graph":
+        """The subgraph formed by the given edges of ``G``.
+
+        Edges absent from ``G`` raise :class:`EdgeNotFoundError` — asking
+        for a subgraph of edges that do not exist is always a bug.
+        """
+        g = Graph()
+        for u, v in edges:
+            if not self.has_edge(u, v):
+                raise EdgeNotFoundError(u, v)
+            g.add_edge(u, v)
+        return g
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.num_vertices}, m={self.num_edges})"

@@ -1,0 +1,46 @@
+"""Connected components (iterative BFS — no recursion limits)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Set
+
+from repro.graph.adjacency import Graph
+
+
+def connected_components(g: Graph) -> List[Set[int]]:
+    """All connected components as vertex sets, largest first.
+
+    Isolated vertices form singleton components.  Deterministic: ties in
+    size break by smallest contained vertex.
+    """
+    seen: Set[int] = set()
+    components: List[Set[int]] = []
+    for start in g.sorted_vertices():
+        if start in seen:
+            continue
+        comp: Set[int] = {start}
+        queue = deque([start])
+        while queue:
+            v = queue.popleft()
+            for w in g.neighbors(v):
+                if w not in comp:
+                    comp.add(w)
+                    queue.append(w)
+        seen |= comp
+        components.append(comp)
+    components.sort(key=lambda c: (-len(c), min(c)))
+    return components
+
+
+def num_connected_components(g: Graph) -> int:
+    """The number of connected components."""
+    return len(connected_components(g))
+
+
+def largest_component(g: Graph) -> Graph:
+    """The induced subgraph of the largest component (empty graph in)."""
+    comps = connected_components(g)
+    if not comps:
+        return Graph()
+    return g.subgraph(comps[0])

@@ -1,0 +1,103 @@
+"""Subgraph views used by the external-memory algorithms.
+
+The key concept is the *neighborhood subgraph* of Definition 4:
+
+    NS(U) = (V', E') with V' = U ∪ nb(U) and E' = {(u, v) ∈ E : u ∈ U}
+
+i.e. every edge with at least one endpoint in ``U``.  Edges with *both*
+endpoints in ``U`` are *internal*; the rest are *external*.  The crucial
+property (used by Lemma 1 and Theorems 2/4) is that for an internal edge
+``(u, v)`` every triangle of ``G`` through it is present in ``NS(U)``, so
+supports of internal edges computed locally are globally exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+from repro.graph.adjacency import Graph
+from repro.graph.edges import Edge, norm_edge
+
+
+@dataclass(frozen=True)
+class NeighborhoodSubgraph:
+    """An ``NS(U)`` instance: the subgraph plus the internal vertex set."""
+
+    graph: Graph
+    internal_vertices: FrozenSet[int]
+
+    def is_internal_vertex(self, v: int) -> bool:
+        """Whether ``v ∈ U``."""
+        return v in self.internal_vertices
+
+    def is_internal_edge(self, u: int, v: int) -> bool:
+        """Whether both endpoints lie in ``U`` (support is then exact)."""
+        return u in self.internal_vertices and v in self.internal_vertices
+
+    def internal_edges(self) -> Iterator[Edge]:
+        """Iterate the canonical internal edges (``E_{G[U]}``)."""
+        internal = self.internal_vertices
+        for u, v in self.graph.edges():
+            if u in internal and v in internal:
+                yield (u, v)
+
+    def external_edges(self) -> Iterator[Edge]:
+        """Iterate edges with exactly one endpoint in ``U``."""
+        internal = self.internal_vertices
+        for u, v in self.graph.edges():
+            if (u in internal) != (v in internal):
+                yield (u, v)
+
+    @property
+    def size(self) -> int:
+        """``|NS(U)| = m + n`` of the subgraph."""
+        return self.graph.size
+
+
+def neighborhood_subgraph(g: Graph, internal: Iterable[int]) -> NeighborhoodSubgraph:
+    """Materialize ``NS(U)`` of an in-memory graph.
+
+    Vertices of ``internal`` not present in ``g`` are ignored so callers
+    can pass partition blocks computed on an earlier snapshot of a
+    shrinking graph.
+    """
+    u_set: Set[int] = {v for v in internal if g.has_vertex(v)}
+    h = Graph()
+    for u in u_set:
+        h.add_vertex(u)
+        for w in g.neighbors(u):
+            h.add_edge(u, w)
+    return NeighborhoodSubgraph(graph=h, internal_vertices=frozenset(u_set))
+
+
+def neighborhood_subgraph_from_edges(
+    edges: Iterable[Tuple[int, int]], internal: Iterable[int]
+) -> NeighborhoodSubgraph:
+    """Materialize ``NS(U)`` from an edge stream (one disk scan).
+
+    This is the access pattern of Algorithm 4 Step 5 / Algorithm 7 Step 6:
+    ``Gnew`` lives on disk as an edge file, and the candidate subgraph is
+    built from every edge incident to ``U`` during a single sequential
+    scan.
+    """
+    u_set = set(internal)
+    h = Graph()
+    for u, v in edges:
+        if u in u_set or v in u_set:
+            h.add_edge(u, v)
+    present_internal = frozenset(v for v in u_set if h.has_vertex(v))
+    return NeighborhoodSubgraph(graph=h, internal_vertices=present_internal)
+
+
+def union_edge_subgraph(edge_sets: Iterable[Iterable[Edge]]) -> Graph:
+    """Build the subgraph formed by the union of several edge sets.
+
+    Used to assemble ``T_k`` from the classes ``Φ_j`` for ``j >= k``
+    (Section 2: ``E_{T_k} = ∪_{j>=k} Φ_j``).
+    """
+    g = Graph()
+    for edges in edge_sets:
+        for u, v in edges:
+            g.add_edge(u, v)
+    return g

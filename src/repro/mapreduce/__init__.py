@@ -1,0 +1,12 @@
+"""Local MapReduce runtime substrate (for the TD-MR baseline).
+
+Public surface::
+
+    LocalMRRuntime     map-shuffle-reduce executor with cost counters
+    MapReduceJob       job description (mapper, reducer, combiner)
+    MRCounters         rounds / records / shuffle-bytes metering
+"""
+
+from repro.mapreduce.engine import LocalMRRuntime, MapReduceJob, MRCounters
+
+__all__ = ["LocalMRRuntime", "MapReduceJob", "MRCounters"]

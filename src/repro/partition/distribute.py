@@ -1,0 +1,96 @@
+"""One-scan distribution of edges into per-block bucket files.
+
+The external-memory way to extract all ``NS(P_i)`` in one pass
+(Chu–Cheng [13]): scan the edge file once and append each record to the
+bucket file of each endpoint's block.  Block ``i``'s bucket then holds
+exactly the edges with an endpoint in ``P_i`` — the edge set of
+``NS(P_i)`` — at a total cost of ``O(scan(|G|))`` reads plus
+``O(scan(2|G|))`` writes per round, instead of one full scan per block.
+
+The ``p`` concurrently open writers each hold one partial block of
+buffer, the standard ``p <= M/B`` fan-out assumption of the I/O model.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.exio.blockfile import BlockReader, BlockWriter, remove_if_exists
+from repro.exio.iostats import IOStats
+from repro.exio.records import ATTR_EDGE
+
+AttrEdge = Tuple[int, int, int]
+
+
+class BucketSet:
+    """A round's per-block bucket files; always ``close``d or used via
+    context manager so buffers flush before reading."""
+
+    def __init__(self, num_blocks: int, workdir: Path, stats: IOStats, tag: str) -> None:
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.stats = stats
+        self.paths: List[Path] = [
+            self.workdir / f"bucket-{tag}-{i}.bin" for i in range(num_blocks)
+        ]
+        self._writers: Optional[List[BlockWriter]] = [
+            BlockWriter(p, stats) for p in self.paths
+        ]
+
+    def append(self, block: int, record: AttrEdge) -> None:
+        """Append one record to a block's bucket."""
+        assert self._writers is not None, "bucket set already sealed"
+        self._writers[block].write(ATTR_EDGE.pack(*record))
+
+    def seal(self) -> None:
+        """Flush and close all writers (idempotent)."""
+        if self._writers is not None:
+            for w in self._writers:
+                w.close()
+            self._writers = None
+
+    def read(self, block: int) -> Iterator[AttrEdge]:
+        """Sequentially read one bucket (after sealing)."""
+        assert self._writers is None, "seal() before reading"
+        with BlockReader(self.paths[block], self.stats) as r:
+            yield from ATTR_EDGE.read_stream(r)
+
+    def delete(self) -> None:
+        """Remove every bucket file."""
+        self.seal()
+        for p in self.paths:
+            remove_if_exists(p)
+
+    def __enter__(self) -> "BucketSet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.delete()
+
+
+def distribute_edges(
+    records: Iterable[AttrEdge],
+    block_of: Dict[int, int],
+    num_blocks: int,
+    workdir: Path,
+    stats: IOStats,
+    tag: str = "ns",
+) -> BucketSet:
+    """Route each record to its endpoint blocks' buckets (one scan).
+
+    A record goes to ``block_of[u]`` and, if different, ``block_of[v]``;
+    endpoints absent from ``block_of`` contribute no routing (their
+    block needs no copy).  Records with neither endpoint mapped are
+    dropped — no neighborhood subgraph can want them this round.
+    """
+    buckets = BucketSet(num_blocks, workdir, stats, tag)
+    for u, v, attr in records:
+        bu = block_of.get(u)
+        bv = block_of.get(v)
+        if bu is not None:
+            buckets.append(bu, (u, v, attr))
+        if bv is not None and bv != bu:
+            buckets.append(bv, (u, v, attr))
+    buckets.seal()
+    return buckets

@@ -1,0 +1,32 @@
+"""Sequential partitioner: greedy fill in ascending vertex-id order.
+
+The first of Chu–Cheng's three partitioners: walk the vertices in
+storage order (ascending id, the adjacency file order) and close a
+block whenever adding the next vertex would overflow the capacity.
+Fast — one pass, no extra scans — but with no theoretical bound on the
+number of LowerBounding iterations (the paper, Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exio.memory import MemoryBudget
+from repro.partition.base import Partitioner, PartitionSource
+
+
+class SequentialPartitioner(Partitioner):
+    """Greedy in-order packing (the paper's "first" partitioner)."""
+
+    name = "sequential"
+
+    def partition(
+        self, source: PartitionSource, budget: MemoryBudget
+    ) -> List[List[int]]:
+        vertices = sorted(source.degrees)
+        return self.pack_by_weight(
+            vertices,
+            source.degrees,
+            budget.partition_capacity(),
+            phase=self._next_phase(),
+        )

@@ -1,0 +1,40 @@
+"""Triangle engine: listing, counting and per-edge support.
+
+Public surface::
+
+    iter_triangles, triangle_count      compact-forward O(m^1.5) listing
+    edge_supports, supports_within      Definition 1's sup(e)
+    external_edge_supports              partitioned, I/O-accounted variant
+"""
+
+from repro.triangles.listing import (
+    degree_ranks,
+    iter_triangles,
+    oriented_adjacency,
+    triangle_count,
+)
+from repro.triangles.external import (
+    external_edge_supports,
+    external_supports_to_file,
+    external_triangle_count,
+)
+from repro.triangles.support import (
+    edge_supports,
+    max_support,
+    support_of_edges,
+    supports_within,
+)
+
+__all__ = [
+    "external_edge_supports",
+    "external_supports_to_file",
+    "external_triangle_count",
+    "iter_triangles",
+    "triangle_count",
+    "degree_ranks",
+    "oriented_adjacency",
+    "edge_supports",
+    "support_of_edges",
+    "supports_within",
+    "max_support",
+]

@@ -1,0 +1,74 @@
+"""In-memory triangle listing: the compact-forward algorithm.
+
+This is the ``O(m^1.5)`` triangle listing of Schank [27] and Latapy
+[20] that the paper uses for support initialization (Algorithm 2,
+Step 2).  Vertices are ranked by ``(degree, id)``; each edge is oriented
+from lower to higher rank; a triangle ``{a, b, c}`` with rank
+``a < b < c`` is found exactly once, at its lowest-ranked edge, by
+intersecting the out-neighborhoods of ``a`` and ``b``.
+
+The rank trick is also the proof device of the paper's Theorem 1: a
+vertex has at most ``2·sqrt(m)`` neighbors of equal-or-higher degree,
+which bounds the total intersection work by ``O(m^1.5)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.graph.adjacency import Graph
+from repro.graph.edges import Edge
+
+Triangle = Tuple[int, int, int]
+
+
+def degree_ranks(g: Graph) -> Dict[int, int]:
+    """Rank vertices by ``(degree, id)`` ascending; rank is dense 0..n-1."""
+    order = sorted(g.vertices(), key=lambda v: (g.degree(v), v))
+    return {v: i for i, v in enumerate(order)}
+
+
+def oriented_adjacency(g: Graph) -> Dict[int, Set[int]]:
+    """Out-neighborhoods under the degree-rank orientation.
+
+    ``out[v]`` holds exactly the neighbors of ``v`` with higher rank, so
+    ``sum(len(out[v]))`` is ``m`` and each ``|out[v]|`` is ``O(sqrt(m))``.
+    """
+    rank = degree_ranks(g)
+    out: Dict[int, Set[int]] = {v: set() for v in g.vertices()}
+    for v in g.vertices():
+        rv = rank[v]
+        row = out[v]
+        for w in g.neighbors(v):
+            if rank[w] > rv:
+                row.add(w)
+    return out
+
+
+def iter_triangles(g: Graph) -> Iterator[Triangle]:
+    """Yield every triangle of ``g`` exactly once.
+
+    The tuple is ordered by rank: ``(a, b, c)`` with
+    ``rank(a) < rank(b) < rank(c)``; no vertex repeats across positions
+    of one triangle, and the set of frozensets is the paper's ``△G``.
+    """
+    out = oriented_adjacency(g)
+    for a in g.vertices():
+        out_a = out[a]
+        for b in out_a:
+            # out[b] only holds ranks above b, so every common member c
+            # satisfies rank(a) < rank(b) < rank(c): each triangle is
+            # produced exactly once, at its lowest-ranked edge.
+            for c in out_a & out[b]:
+                yield (a, b, c)
+
+
+def triangle_count(g: Graph) -> int:
+    """``|△G|``: the number of triangles in ``g``."""
+    count = 0
+    out = oriented_adjacency(g)
+    for a in g.vertices():
+        out_a = out[a]
+        for b in out_a:
+            count += len(out_a & out[b])
+    return count

@@ -1,0 +1,79 @@
+"""Tests for the experiment harness (tiny scales for speed)."""
+
+import pytest
+
+from repro.bench import (
+    external_budget,
+    figure1_rows,
+    figure2_rows,
+    measure,
+    table2_rows,
+    table3_rows,
+    table6_rows,
+)
+from repro.graph import complete_graph
+
+
+class TestMeasure:
+    def test_returns_result_and_timing(self):
+        m = measure(lambda: 41 + 1)
+        assert m.result == 42
+        assert m.seconds >= 0
+        assert m.peak_bytes >= 0
+
+    def test_memory_tracking_optional(self):
+        m = measure(lambda: [0] * 100000, track_memory=False)
+        assert m.peak_bytes == 0
+
+    def test_memory_tracking_sees_allocation(self):
+        m = measure(lambda: list(range(200000)), track_memory=True)
+        assert m.peak_bytes > 100000
+
+
+class TestExternalBudget:
+    def test_quarter_size(self):
+        g = complete_graph(40)  # size = 40 + 780
+        b = external_budget(g)
+        assert b.units == (40 + 780) // 4
+
+    def test_floor(self):
+        g = complete_graph(3)
+        assert external_budget(g).units == 16
+
+
+class TestRowGenerators:
+    def test_figure2_rows_match(self):
+        rows = figure2_rows()
+        assert [r["k"] for r in rows] == [2, 3, 4, 5]
+        assert all(r["match"] for r in rows)
+        assert [r["|Phi_k| paper"] for r in rows] == [1, 9, 6, 10]
+
+    def test_figure1_rows_ordered(self):
+        rows = figure1_rows()
+        ccs = [r["CC"] for r in rows]
+        assert ccs == sorted(ccs)
+        assert rows[0]["|V|"] == 21
+
+    def test_table2_row_tiny_scale(self):
+        rows = table2_rows(scale=0.02, names=["p2p"])
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["dataset"] == "p2p"
+        assert row["kmax"] == 5
+        assert row["paper kmax"] == 5
+        assert row["|E|"] > 0
+
+    def test_table3_row_tiny_scale(self):
+        rows = table3_rows(scale=0.03, names=["amazon"])
+        row = rows[0]
+        assert row["TD-inmem (s)"] > 0
+        assert row["TD-inmem+ (s)"] > 0
+        assert row["speedup"] > 0
+        assert row["paper speedup"] == pytest.approx(68 / 31, rel=1e-6)
+
+    def test_table6_row_tiny_scale(self):
+        rows = table6_rows(scale=0.05, names=["btc"])
+        row = rows[0]
+        assert row["kmax"] == 7
+        assert row["cmax"] > row["kmax"]  # the biclique core
+        assert row["CC_T"] >= row["CC_C"]

@@ -1,0 +1,56 @@
+"""Tests for ASCII/markdown table rendering."""
+
+from repro.bench import format_number, render_markdown, render_table
+
+
+class TestFormatNumber:
+    def test_none_is_dash(self):
+        assert format_number(None) == "-"
+
+    def test_ints_get_separators(self):
+        assert format_number(1234567) == "1,234,567"
+
+    def test_floats_scale(self):
+        assert format_number(0.12345) == "0.1235"
+        assert format_number(3.14159) == "3.14"
+        assert format_number(12345.6) == "12,346"
+        assert format_number(0.0) == "0"
+
+    def test_bool_and_str_passthrough(self):
+        assert format_number(True) == "True"
+        assert format_number("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        text = render_table(
+            "My Table",
+            ["a", "b"],
+            [{"a": 1, "b": 2.5}, {"a": None, "b": "x"}],
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert "| a" in lines[2]
+        assert any("| 1" in line for line in lines)
+        assert any("| -" in line for line in lines)
+
+    def test_empty_rows(self):
+        text = render_table("T", ["col"], [])
+        assert "col" in text
+
+    def test_note_appended(self):
+        text = render_table("T", ["a"], [{"a": 1}], note="hello")
+        assert text.endswith("hello")
+
+    def test_missing_keys_render_dash(self):
+        text = render_table("T", ["a", "b"], [{"a": 1}])
+        assert "| -" in text
+
+
+class TestRenderMarkdown:
+    def test_markdown_shape(self):
+        md = render_markdown(["x", "y"], [{"x": 1, "y": 2}])
+        lines = md.splitlines()
+        assert lines[0] == "| x | y |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"

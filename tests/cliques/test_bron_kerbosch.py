@@ -1,0 +1,81 @@
+"""Tests for Bron-Kerbosch maximal clique enumeration."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cliques import iter_maximal_cliques, maximal_cliques, maximum_clique
+from repro.graph import Graph, complete_graph, cycle_graph, disjoint_union, star_graph
+
+from conftest import small_edge_lists
+
+
+class TestMaximalCliques:
+    @pytest.mark.parametrize("order", [True, False], ids=["degeneracy", "plain"])
+    def test_clique_graph(self, order):
+        cliques = maximal_cliques(complete_graph(5), use_degeneracy_order=order)
+        assert cliques == [[0, 1, 2, 3, 4]]
+
+    def test_triangle_free(self):
+        cliques = maximal_cliques(cycle_graph(5))
+        assert len(cliques) == 5
+        assert all(len(c) == 2 for c in cliques)
+
+    def test_star(self):
+        cliques = maximal_cliques(star_graph(4))
+        assert all(len(c) == 2 for c in cliques)
+        assert len(cliques) == 4
+
+    def test_isolated_vertex_is_singleton_clique(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(9)
+        assert [9] in maximal_cliques(g)
+
+    def test_empty_graph(self):
+        assert maximal_cliques(Graph()) == []
+
+    def test_two_overlapping_triangles(self):
+        g = Graph([(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)])
+        cliques = maximal_cliques(g)
+        assert [0, 1, 2] in cliques
+        assert [1, 2, 3] in cliques
+        assert len(cliques) == 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_edge_lists())
+    def test_matches_networkx(self, edges):
+        import networkx as nx
+
+        g = Graph(edges)
+        ng = nx.Graph(list(g.edges()))
+        ng.add_nodes_from(g.vertices())
+        ours = {tuple(c) for c in maximal_cliques(g)}
+        theirs = {tuple(sorted(c)) for c in nx.find_cliques(ng)}
+        assert ours == theirs
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_edge_lists())
+    def test_orders_agree(self, edges):
+        g = Graph(edges)
+        assert maximal_cliques(g, True) == maximal_cliques(g, False)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_edge_lists())
+    def test_every_output_is_a_maximal_clique(self, edges):
+        g = Graph(edges)
+        for clique in iter_maximal_cliques(g):
+            for i, u in enumerate(clique):
+                for v in clique[i + 1 :]:
+                    assert g.has_edge(u, v)
+            members = set(clique)
+            for w in g.vertices():
+                if w not in members:
+                    assert not members <= g.neighbors(w) | {w}
+
+
+class TestMaximumClique:
+    def test_planted(self):
+        g = disjoint_union([complete_graph(4), complete_graph(6)])
+        assert len(maximum_clique(g)) == 6
+
+    def test_empty(self):
+        assert maximum_clique(Graph()) == []

@@ -1,0 +1,107 @@
+"""Tests for truss-pruned clique search (Section 7.4's claims)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cliques import (
+    clique_search_report,
+    cliques_of_size_at_least,
+    maximum_clique,
+    maximum_clique_truss_pruned,
+)
+from repro.core import truss_decomposition_improved
+from repro.datasets import erdos_renyi, plant_biclique, plant_clique
+from repro.graph import Graph, complete_graph, disjoint_union
+
+from conftest import random_graph, small_edge_lists
+
+
+class TestCliquesOfSizeAtLeast:
+    def test_finds_planted_clique(self):
+        g = erdos_renyi(200, 400, seed=81)
+        members = sorted(plant_clique(g, 8, seed=82))
+        found = cliques_of_size_at_least(g, 8)
+        assert any(set(members) <= set(c) for c in found)
+
+    def test_no_large_cliques_in_sparse_graph(self):
+        g = erdos_renyi(100, 150, seed=83)
+        assert cliques_of_size_at_least(g, 10) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            cliques_of_size_at_least(complete_graph(3), 1)
+
+    def test_reuses_supplied_decomposition(self):
+        g = complete_graph(5)
+        td = truss_decomposition_improved(g)
+        assert cliques_of_size_at_least(g, 5, decomposition=td) == [[0, 1, 2, 3, 4]]
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_edge_lists())
+    def test_matches_unpruned_search(self, edges):
+        """Pruning must lose nothing: same big cliques with and without."""
+        from repro.cliques import maximal_cliques
+
+        g = Graph(edges)
+        for c in (3, 4):
+            pruned = {tuple(x) for x in cliques_of_size_at_least(g, c)}
+            full = {
+                tuple(x) for x in maximal_cliques(g) if len(x) >= c
+            }
+            assert pruned == full
+
+
+class TestMaximumCliqueTrussPruned:
+    def test_matches_direct_search(self):
+        for seed in range(4):
+            g = random_graph(35, 0.3, seed=seed)
+            assert len(maximum_clique_truss_pruned(g)) == len(maximum_clique(g))
+
+    def test_planted_maximum(self):
+        g = erdos_renyi(300, 600, seed=84)
+        members = sorted(plant_clique(g, 10, seed=85))
+        assert maximum_clique_truss_pruned(g) == members
+
+    def test_edgeless_graph(self):
+        g = Graph()
+        g.add_vertex(3)
+        assert maximum_clique_truss_pruned(g) == [3]
+
+
+class TestSection74Claims:
+    def test_truss_filter_tighter_than_core_filter(self):
+        """|E(T_c)| <= |E((c-1)-core)| and the truss bound on the max
+        clique is at most the core bound."""
+        g = erdos_renyi(300, 900, seed=86)
+        plant_clique(g, 9, seed=87)
+        plant_biclique(g, 15, seed=88)  # inflates cores, not trusses
+        report = clique_search_report(g, 9)
+        assert report.truss_edges <= report.core_edges
+        assert report.max_clique_bound_truss <= report.max_clique_bound_core
+        assert report.truss_vs_core_reduction < 0.8  # decisively smaller
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_edge_lists())
+    def test_clique_inside_its_truss(self, edges):
+        """A clique of size c is contained in T_c (the pruning theorem)."""
+        g = Graph(edges)
+        td = truss_decomposition_improved(g)
+        from repro.cliques import maximal_cliques
+
+        for clique in maximal_cliques(g):
+            c = len(clique)
+            if c < 3:
+                continue
+            truss_edges = set(td.k_truss_edges(c))
+            for i, u in enumerate(clique):
+                for v in clique[i + 1 :]:
+                    assert ((u, v) if u < v else (v, u)) in truss_edges
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_edge_lists())
+    def test_kmax_bounds_max_clique(self, edges):
+        g = Graph(edges)
+        if g.num_edges == 0:
+            return
+        td = truss_decomposition_improved(g)
+        assert len(maximum_clique(g)) <= max(td.kmax, 2)

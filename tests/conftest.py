@@ -1,0 +1,72 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+import pytest
+from hypothesis import strategies as st
+
+# Make the sibling ``oracles`` module importable from every test package.
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.graph import Graph, complete_graph, disjoint_union  # noqa: E402
+
+
+@pytest.fixture
+def triangle_graph() -> Graph:
+    """K3: the smallest graph with a non-trivial truss (all edges phi=3)."""
+    return complete_graph(3)
+
+
+@pytest.fixture
+def k5_graph() -> Graph:
+    """K5: all edges have trussness 5."""
+    return complete_graph(5)
+
+
+@pytest.fixture
+def two_communities() -> Graph:
+    """Two cliques (K5, K4) joined by a single bridge edge."""
+    g = disjoint_union([complete_graph(5), complete_graph(4)])
+    g.add_edge(0, 5)
+    return g
+
+
+def random_graph(n: int, p: float, seed: int) -> Graph:
+    """Seeded G(n, p) used by deterministic randomized tests."""
+    rng = random.Random(seed)
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def small_edge_lists(draw, max_vertices: int = 12, max_edges: int = 40):
+    """A list of distinct canonical edges over a small vertex range."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return draw(
+        st.lists(
+            st.sampled_from(possible),
+            max_size=min(max_edges, len(possible)),
+            unique=True,
+        )
+    )
+
+
+@st.composite
+def small_graphs(draw, max_vertices: int = 12, max_edges: int = 40):
+    """A small random simple graph (possibly empty / disconnected)."""
+    return Graph(draw(small_edge_lists(max_vertices, max_edges)))

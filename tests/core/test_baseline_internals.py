@@ -1,0 +1,62 @@
+"""Behavioural tests for Algorithm 1's cost model.
+
+Table 3's story depends on the baseline actually paying
+O(deg(u) + deg(v)) per removal over *never-compacted* adjacency lists;
+these tests pin that cost model so a well-meaning optimization cannot
+silently delete the paper's comparison.
+"""
+
+from repro.core import truss_decomposition_baseline, truss_decomposition_improved
+from repro.graph import Graph, complete_graph, star_graph
+
+
+def book(pages: int) -> Graph:
+    g = Graph([(0, 1)])
+    for i in range(2, pages + 2):
+        g.add_edge(0, i)
+        g.add_edge(1, i)
+    return g
+
+
+class TestIntersectionWorkCounter:
+    def test_counter_present_and_positive(self):
+        td = truss_decomposition_baseline(complete_graph(4))
+        assert td.stats.extra["intersection_work"] > 0
+
+    def test_work_counts_full_list_lengths(self):
+        """Removing the star's edges costs ~deg(hub) per removal even
+        though each leaf has degree 1 — the asymmetric-merge penalty."""
+        n = 50
+        td = truss_decomposition_baseline(star_graph(n))
+        # each of the n removals merges the (never-shrinking) hub list
+        assert td.stats.extra["intersection_work"] >= n * n
+
+    def test_quadratic_on_book_graphs(self):
+        w1 = truss_decomposition_baseline(book(50)).stats.extra[
+            "intersection_work"
+        ]
+        w2 = truss_decomposition_baseline(book(200)).stats.extra[
+            "intersection_work"
+        ]
+        # 4x edges -> ~16x work
+        assert w2 / w1 > 8
+
+    def test_improved_does_not_pay_the_hub(self):
+        """Algorithm 2 walks the lower-degree endpoint: its runtime on
+        the star is trivial and it never touches the hub list length."""
+        g = star_graph(2000)
+        td = truss_decomposition_improved(g)
+        assert all(k == 2 for k in td.trussness.values())
+
+
+class TestMarkDeletionSemantics:
+    def test_dead_wing_edges_do_not_resurrect_triangles(self):
+        """After (u,w) is removed, the w entry still sits in u's sorted
+        list; the aliveness check must ignore it or supports would be
+        decremented twice."""
+        # two triangles sharing edge (0,1): the wings peel at level 4 and
+        # the shared edge must come down with them exactly once
+        g = Graph([(0, 1), (0, 2), (1, 2), (0, 3), (1, 3)])
+        td = truss_decomposition_baseline(g)
+        assert td == truss_decomposition_improved(g)
+        assert td.phi(0, 1) == 3  # support 2 but both triangles die at k=4

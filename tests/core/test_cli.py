@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph import complete_graph, read_edge_list, write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = complete_graph(5)
+    g.add_edge(0, 10)
+    path = tmp_path / "g.txt"
+    write_edge_list(g, path)
+    return path
+
+
+class TestDecompose:
+    def test_writes_phi_lines(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "phi.txt"
+        assert main(["decompose", str(graph_file), "-o", str(out)]) == 0
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == 11
+        phi = {}
+        for line in lines:
+            u, v, k = map(int, line.split())
+            phi[(u, v)] = k
+        assert phi[(0, 10)] == 2
+        assert phi[(0, 1)] == 5
+        assert "kmax=5" in capsys.readouterr().err
+
+    def test_stdout_default(self, graph_file, capsys):
+        assert main(["decompose", str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 11
+
+    @pytest.mark.parametrize("method", ["baseline", "bottomup", "topdown"])
+    def test_other_methods(self, graph_file, tmp_path, method):
+        out = tmp_path / "phi.txt"
+        args = ["decompose", str(graph_file), "-o", str(out), "--method", method]
+        if method in ("bottomup", "topdown"):
+            args += ["--memory-fraction", "4"]
+        assert main(args) == 0
+        assert len(out.read_text().strip().splitlines()) == 11
+
+    def test_top_t(self, graph_file, tmp_path):
+        out = tmp_path / "phi.txt"
+        assert main([
+            "decompose", str(graph_file), "-o", str(out),
+            "--method", "topdown", "--top", "1",
+        ]) == 0
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == 10  # only the 5-class
+        assert all(line.endswith(" 5") for line in lines)
+
+
+class TestOtherCommands:
+    def test_ktruss(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "t4.txt"
+        assert main(["ktruss", str(graph_file), "4", str(out)]) == 0
+        t = read_edge_list(out)
+        assert t.num_edges == 10
+
+    def test_stats(self, graph_file, capsys):
+        assert main(["stats", str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert "kmax (truss)    5" in out
+        assert "edges           11" in out
+
+    def test_hierarchy(self, graph_file, capsys):
+        assert main(["hierarchy", str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].split() == ["k", "|V|", "|E|", "comps", "density", "CC"]
+        assert len(out.strip().splitlines()) == 5  # header + k=2..5
+
+    def test_generate_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "p2p.txt"
+        assert main(["generate", "p2p", str(out), "--scale", "0.02"]) == 0
+        g = read_edge_list(out)
+        assert g.num_edges > 0
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "nope", str(tmp_path / "x.txt")])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,65 @@
+"""Tests for truss hierarchy profiles (the fingerprinting layer)."""
+
+from hypothesis import given, settings
+
+from repro.core import truss_decomposition_improved, truss_hierarchy
+from repro.datasets import running_example_graph
+from repro.graph import Graph, complete_graph, disjoint_union, star_graph
+
+from conftest import small_edge_lists
+
+
+class TestHierarchyShape:
+    def test_clique_profile(self):
+        h = truss_hierarchy(complete_graph(5))
+        assert [row.k for row in h.levels] == [2, 3, 4, 5]
+        assert all(row.num_edges == 10 for row in h.levels)
+        assert h.kmax == 5
+        assert h.level(5).density == 1.0
+
+    def test_star_is_flat(self):
+        h = truss_hierarchy(star_graph(6))
+        assert h.kmax == 2
+        assert len(h.levels) == 1
+
+    def test_running_example_profile(self):
+        h = truss_hierarchy(running_example_graph())
+        assert h.signature() == [26, 25, 16, 10]
+        assert h.level(4).num_components == 2  # K5 region and the f-h-i-j clique
+
+    def test_level_lookup_missing(self):
+        h = truss_hierarchy(complete_graph(3))
+        assert h.level(9) is None
+
+    def test_collapse_level(self):
+        # hub network collapses immediately, clique never
+        hub = truss_hierarchy(star_graph(10))
+        assert hub.collapse_level() == hub.kmax + 1  # never halves (flat)
+        g = disjoint_union([complete_graph(4)] + [star_graph(3, center=0)] * 8)
+        h = truss_hierarchy(g)
+        assert h.collapse_level() == 3  # most edges are not in any triangle
+
+    def test_accepts_precomputed_decomposition(self):
+        g = complete_graph(4)
+        td = truss_decomposition_improved(g)
+        assert truss_hierarchy(g, decomposition=td).kmax == 4
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_edge_lists())
+    def test_monotone_nesting(self, edges):
+        g = Graph(edges)
+        h = truss_hierarchy(g)
+        sizes = h.signature()
+        assert sizes == sorted(sizes, reverse=True)
+        for row in h.levels:
+            assert 0 <= row.clustering <= 1
+            assert 0 <= row.density <= 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_edge_lists())
+    def test_level2_is_whole_graph(self, edges):
+        g = Graph(edges)
+        if g.num_edges == 0:
+            return
+        h = truss_hierarchy(g)
+        assert h.levels[0].num_edges == g.num_edges

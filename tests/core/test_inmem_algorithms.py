@@ -1,0 +1,169 @@
+"""Tests for Algorithm 1 (baseline) and Algorithm 2 (improved).
+
+Both must produce identical, definition-correct decompositions; the
+improved algorithm is additionally cross-checked against networkx's
+k_truss on random graphs.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    TrussDecomposition,
+    truss_decomposition_baseline,
+    truss_decomposition_improved,
+)
+from repro.graph import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    star_graph,
+)
+
+from conftest import random_graph, small_edge_lists
+from oracles import brute_trussness
+
+ALGOS = [truss_decomposition_baseline, truss_decomposition_improved]
+
+
+def ids(fn):
+    return fn.__name__.replace("truss_decomposition_", "")
+
+
+@pytest.mark.parametrize("algo", ALGOS, ids=ids)
+class TestDefinitionCases:
+    def test_empty_graph(self, algo):
+        td = algo(Graph())
+        assert td.num_edges == 0
+        assert td.kmax == 2
+
+    def test_single_edge_is_phi2(self, algo):
+        td = algo(Graph([(0, 1)]))
+        assert td.phi(0, 1) == 2
+
+    def test_triangle_is_phi3(self, algo):
+        td = algo(complete_graph(3))
+        assert all(k == 3 for k in td.trussness.values())
+
+    def test_clique_phi_equals_size(self, algo):
+        for n in (4, 5, 6, 7):
+            td = algo(complete_graph(n))
+            assert all(k == n for k in td.trussness.values()), f"K{n}"
+
+    def test_triangle_free_all_phi2(self, algo):
+        td = algo(cycle_graph(8))
+        assert all(k == 2 for k in td.trussness.values())
+        td = algo(star_graph(6))
+        assert all(k == 2 for k in td.trussness.values())
+
+    def test_clique_with_pendant(self, algo):
+        g = complete_graph(4)
+        g.add_edge(0, 99)
+        td = algo(g)
+        assert td.phi(0, 99) == 2
+        assert td.phi(0, 1) == 4
+
+    def test_two_cliques_bridge(self, algo):
+        g = disjoint_union([complete_graph(5), complete_graph(4)])
+        g.add_edge(0, 5)
+        td = algo(g)
+        assert td.phi(0, 5) == 2
+        assert td.phi(0, 1) == 5
+        assert td.phi(5, 6) == 4
+        assert td.kmax == 5
+
+    def test_book_graph(self, algo):
+        """Triangles sharing one edge: the shared edge has high support
+        but the page edges cap the trussness at 3."""
+        g = Graph([(0, 1)])
+        for i in range(2, 7):
+            g.add_edge(0, i)
+            g.add_edge(1, i)
+        td = algo(g)
+        assert all(k == 3 for k in td.trussness.values())
+
+    def test_input_not_modified(self, algo):
+        g = complete_graph(5)
+        before = set(g.edges())
+        algo(g)
+        assert set(g.edges()) == before
+
+    def test_stats_attached(self, algo):
+        td = algo(complete_graph(4))
+        assert td.stats is not None
+        assert td.stats.method in ("baseline", "improved")
+
+
+@pytest.mark.parametrize("algo", ALGOS, ids=ids)
+class TestAgainstBruteForce:
+    @settings(max_examples=60, deadline=None)
+    @given(small_edge_lists())
+    def test_matches_bruteforce(self, algo, edges):
+        g = Graph(edges)
+        td = algo(g)
+        assert dict(td.trussness) == brute_trussness(g)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_edge_lists())
+    def test_verify_passes(self, algo, edges):
+        g = Graph(edges)
+        algo(g).verify(g)
+
+
+class TestAlgorithmsAgree:
+    @settings(max_examples=40, deadline=None)
+    @given(small_edge_lists())
+    def test_baseline_equals_improved(self, edges):
+        g = Graph(edges)
+        assert truss_decomposition_baseline(g) == truss_decomposition_improved(g)
+
+    def test_agree_on_random_graphs(self):
+        for seed in range(5):
+            g = random_graph(40, 0.15, seed=seed)
+            assert truss_decomposition_baseline(g) == truss_decomposition_improved(g)
+
+
+class TestAgainstNetworkX:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_k_truss_subgraphs_match(self, seed):
+        import networkx as nx
+
+        g = random_graph(35, 0.2, seed=seed)
+        td = truss_decomposition_improved(g)
+        ng = nx.Graph(list(g.edges()))
+        for k in range(3, td.kmax + 2):
+            ours = set(td.k_truss(k).edges())
+            theirs = {
+                tuple(sorted(e)) for e in nx.k_truss(ng, k).edges()
+            }
+            assert ours == theirs, f"k={k}"
+
+
+class TestTrussCoreRelation:
+    @settings(max_examples=30, deadline=None)
+    @given(small_edge_lists())
+    def test_k_truss_is_subgraph_of_km1_core(self, edges):
+        """Section 1: a k-truss is a (k-1)-core but not vice versa."""
+        from repro.cores import k_core
+
+        g = Graph(edges)
+        td = truss_decomposition_improved(g)
+        for k in range(3, td.kmax + 1):
+            tk = td.k_truss(k)
+            core = k_core(g, k - 1)
+            assert set(tk.edges()) <= set(core.edges())
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_edge_lists())
+    def test_kmax_at_most_cmax_plus_one(self, edges):
+        """Section 7.4: the max clique size is bounded by both kmax and
+        cmax+1, and kmax <= cmax + 1 always."""
+        from repro.cores import max_core
+
+        g = Graph(edges)
+        if g.num_edges == 0:
+            return
+        td = truss_decomposition_improved(g)
+        cmax, _ = max_core(g)
+        assert td.kmax <= cmax + 1

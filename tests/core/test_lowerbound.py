@@ -1,0 +1,109 @@
+"""Unit tests for Algorithm 3 (LowerBounding)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import lower_bounding, prepare_input, truss_decomposition_improved
+from repro.exio import DiskEdgeFile, IOStats, MemoryBudget
+from repro.graph import Graph, complete_graph
+from repro.partition import SequentialPartitioner
+
+from conftest import random_graph, small_edge_lists
+
+
+def run_lowerbound(g, tmp_path, units=24, partitioner=None):
+    stats = IOStats()
+    g_file = prepare_input(g, tmp_path / "in.bin", stats)
+    return lower_bounding(
+        g_file,
+        tmp_path / "gnew.bin",
+        MemoryBudget(units=units),
+        partitioner or SequentialPartitioner(),
+        stats,
+    )
+
+
+class TestPhi2:
+    def test_triangle_free_graph_goes_entirely_to_phi2(self, tmp_path):
+        g = Graph([(0, 1), (1, 2), (2, 3)])
+        res = run_lowerbound(g, tmp_path)
+        assert sorted(res.phi2) == g.sorted_edges()
+        assert res.gnew.is_empty
+
+    def test_clique_keeps_everything(self, tmp_path):
+        g = complete_graph(5)
+        res = run_lowerbound(g, tmp_path)
+        assert res.phi2 == []
+        assert len(res.gnew) == 10
+
+    def test_phi2_matches_zero_support_edges(self, tmp_path):
+        g = random_graph(25, 0.15, seed=7)
+        ref = truss_decomposition_improved(g)
+        res = run_lowerbound(g, tmp_path, units=20)
+        assert sorted(res.phi2) == sorted(ref.k_class(2))
+
+    def test_split_triangle_not_misclassified(self, tmp_path):
+        """The cross-iteration trap: a triangle whose first edge retires
+        in round one must not send the other two edges to Phi_2."""
+        g = complete_graph(3)
+        # tiny budget forces several partition blocks
+        res = run_lowerbound(g, tmp_path, units=5)
+        assert res.phi2 == []
+        assert len(res.gnew) == 3
+
+
+class TestBounds:
+    def test_bounds_never_exceed_trussness(self, tmp_path):
+        g = random_graph(22, 0.3, seed=3)
+        ref = truss_decomposition_improved(g)
+        res = run_lowerbound(g, tmp_path, units=18)
+        for u, v, lb in res.gnew.scan():
+            assert 3 <= lb <= ref.trussness[(u, v)]
+
+    def test_bounds_exact_when_graph_fits(self, tmp_path):
+        g = random_graph(18, 0.3, seed=5)
+        ref = truss_decomposition_improved(g)
+        res = run_lowerbound(g, tmp_path, units=100_000)
+        assert res.iterations == 1
+        for u, v, lb in res.gnew.scan():
+            assert lb == ref.trussness[(u, v)]
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_edge_lists())
+    def test_partition_of_edges_property(self, edges):
+        """Phi2 ∪ Gnew must be exactly the input edge set, disjointly."""
+        import tempfile
+        from pathlib import Path
+
+        g = Graph(edges)
+        with tempfile.TemporaryDirectory() as d:
+            res = run_lowerbound(g, Path(d), units=12)
+            gnew_edges = set(res.gnew.scan_edges())
+            phi2 = set(res.phi2)
+            assert gnew_edges | phi2 == set(g.edges())
+            assert not (gnew_edges & phi2)
+
+
+class TestMechanics:
+    def test_input_file_drained(self, tmp_path):
+        g = complete_graph(4)
+        stats = IOStats()
+        g_file = prepare_input(g, tmp_path / "in.bin", stats)
+        lower_bounding(
+            g_file, tmp_path / "gnew.bin", MemoryBudget(units=10),
+            SequentialPartitioner(), stats,
+        )
+        assert g_file.is_empty
+
+    def test_iteration_and_block_counters(self, tmp_path):
+        g = random_graph(20, 0.3, seed=1)
+        res = run_lowerbound(g, tmp_path, units=14)
+        assert res.iterations >= 1
+        assert res.blocks_processed >= res.iterations
+        assert res.counters["phi2_size"] == len(res.phi2)
+
+    def test_empty_graph(self, tmp_path):
+        res = run_lowerbound(Graph(), tmp_path)
+        assert res.phi2 == []
+        assert res.gnew.is_empty
+        assert res.iterations == 0

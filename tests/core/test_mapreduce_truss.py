@@ -1,0 +1,81 @@
+"""Tests for the TD-MR baseline (Cohen's graph-twiddling truss)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    k_truss_mr,
+    truss_decomposition_improved,
+    truss_decomposition_mapreduce,
+)
+from repro.graph import Graph, complete_graph, cycle_graph, disjoint_union
+from repro.mapreduce import LocalMRRuntime
+
+from conftest import random_graph, small_edge_lists
+
+
+class TestKTrussMR:
+    def test_clique_survives_its_own_level(self):
+        rt = LocalMRRuntime()
+        kept, iterations = k_truss_mr(rt, complete_graph(5).edges(), 5)
+        assert len(kept) == 10
+        assert iterations >= 1
+
+    def test_clique_dies_above_its_level(self):
+        rt = LocalMRRuntime()
+        kept, _ = k_truss_mr(rt, complete_graph(5).edges(), 6)
+        assert kept == set()
+
+    def test_triangle_free_graph_dies_at_3(self):
+        rt = LocalMRRuntime()
+        kept, _ = k_truss_mr(rt, cycle_graph(8).edges(), 3)
+        assert kept == set()
+
+    def test_cascade_needs_multiple_iterations(self):
+        # chain of triangles: peeling one layer exposes the next
+        g = Graph()
+        for i in range(6):
+            g.add_edge(i, i + 1)
+            g.add_edge(i, i + 2)
+        rt = LocalMRRuntime()
+        kept, iterations = k_truss_mr(rt, g.edges(), 4)
+        assert kept == set()
+        assert iterations > 1
+
+    def test_matches_definition_against_improved(self):
+        g = random_graph(20, 0.3, seed=40)
+        ref = truss_decomposition_improved(g)
+        rt = LocalMRRuntime()
+        for k in range(3, ref.kmax + 2):
+            kept, _ = k_truss_mr(rt, g.edges(), k)
+            assert kept == set(ref.k_truss_edges(k)), f"k={k}"
+
+
+class TestDecomposition:
+    def test_matches_improved(self):
+        g = random_graph(18, 0.3, seed=41)
+        assert truss_decomposition_mapreduce(g) == truss_decomposition_improved(g)
+
+    @settings(max_examples=10, deadline=None)
+    @given(small_edge_lists(max_vertices=9, max_edges=18))
+    def test_matches_improved_property(self, edges):
+        g = Graph(edges)
+        assert truss_decomposition_mapreduce(g) == truss_decomposition_improved(g)
+
+    def test_round_counters_grow_with_kmax(self):
+        """The paper's complaint: rounds scale with levels and cascades."""
+        small = truss_decomposition_mapreduce(complete_graph(4))
+        large = truss_decomposition_mapreduce(complete_graph(8))
+        assert (
+            large.stats.extra["mr_rounds"] > small.stats.extra["mr_rounds"]
+        )
+
+    def test_stats_present(self):
+        td = truss_decomposition_mapreduce(complete_graph(4))
+        assert td.stats.method == "mapreduce"
+        assert td.stats.extra["shuffle_records"] > 0
+        assert td.stats.extra["shuffle_bytes"] > 0
+
+    def test_empty_graph(self):
+        td = truss_decomposition_mapreduce(Graph())
+        assert td.num_edges == 0

@@ -1,0 +1,170 @@
+"""Replays of the paper's worked examples (Examples 3, 4, 5).
+
+These tests pin the *internal* behaviour of the external algorithms to
+the traces the paper prints for the Figure 2 running example, not just
+the final answer.
+"""
+
+import pytest
+
+from repro.core import truss_decomposition_improved
+from repro.datasets import (
+    EXAMPLE3_PARTITION,
+    RUNNING_EXAMPLE_CLASSES,
+    running_example_graph,
+    vid,
+)
+from repro.graph import neighborhood_subgraph
+from repro.triangles import supports_within
+
+
+def edge(a: str, b: str):
+    u, v = vid(a), vid(b)
+    return (u, v) if u < v else (v, u)
+
+
+class TestExample3LowerBoundTrace:
+    """Example 3: local classes of NS(P1), NS(P2), NS(P3)."""
+
+    @pytest.fixture(scope="class")
+    def g(self):
+        return running_example_graph()
+
+    def test_ns_p1_local_classes(self, g):
+        """'Given NS(P1), Algorithm 2 returns Phi_2(P1) = {(d,l),(g,l)}.
+        All the remaining edges in NS(P1) belong to Phi_4(P1).'"""
+        ns = neighborhood_subgraph(g, EXAMPLE3_PARTITION[0])
+        local = truss_decomposition_improved(ns.graph)
+        classes = {k: set(v) for k, v in local.k_classes().items()}
+        assert classes[2] == {edge("d", "l"), edge("g", "l")}
+        assert set(classes) == {2, 4}
+        assert len(classes[4]) == ns.graph.num_edges - 2
+
+    def test_ns_p2_local_classes(self, g):
+        """'Phi_2(P2) = {(f,i),(f,j)} and all the other edges in NS(P2)
+        belong to Phi_3(P2).'"""
+        ns = neighborhood_subgraph(g, EXAMPLE3_PARTITION[1])
+        local = truss_decomposition_improved(ns.graph)
+        classes = {k: set(v) for k, v in local.k_classes().items()}
+        assert classes[2] == {edge("f", "i"), edge("f", "j")}
+        assert set(classes) == {2, 3}
+
+    def test_ns_p3_trace(self, g):
+        """'We add the internal edge (i,k) of NS(P3) to Phi_2 ... and
+        update the lower bounds of the 6 edges in the clique {f,h,i,j}
+        to 4.'"""
+        block = EXAMPLE3_PARTITION[2]
+        ns = neighborhood_subgraph(g, block)
+        sup = supports_within(ns.graph, set(block))
+        assert sup[edge("i", "k")] == 0
+        local = truss_decomposition_improved(ns.graph)
+        for a in "fhij":
+            for b in "fhij":
+                if a < b:
+                    assert local.trussness[edge(a, b)] == 4
+
+    def test_stage2_candidate_u3(self, g):
+        """Figure 4(a): with exact bounds, NS(U_3) for the 3-class pass
+        contains every edge with a bound <= 3 plus their neighbors."""
+        ref = truss_decomposition_improved(g)
+        # after Phi_2 removal, Gnew = all edges with phi >= 3
+        gnew_edges = [e for e, k in ref.trussness.items() if k >= 3]
+        u3 = set()
+        for (u, v) in gnew_edges:
+            if ref.trussness[(u, v)] <= 3:
+                u3.add(u)
+                u3.add(v)
+        # the paper's Phi_3 must be internal to NS(U_3)
+        for u, v in RUNNING_EXAMPLE_CLASSES[3]:
+            assert u in u3 and v in u3
+
+
+class TestExample5TopDownTrace:
+    """Example 5: psi-driven candidate sets for k = 5 and k = 4."""
+
+    @pytest.fixture(scope="class")
+    def g(self):
+        return running_example_graph()
+
+    @pytest.fixture(scope="class")
+    def psi(self, g):
+        import tempfile
+        from pathlib import Path
+
+        from repro.core import upper_bounding
+        from repro.exio import DiskEdgeFile, IOStats, MemoryBudget
+        from repro.triangles import edge_supports
+
+        sup = edge_supports(g)
+        with tempfile.TemporaryDirectory() as d:
+            d = Path(d)
+            stats = IOStats()
+            sup_file = DiskEdgeFile.from_records(
+                d / "sup.bin", [(u, v, s) for (u, v), s in sup.items()], stats
+            )
+            out = upper_bounding(
+                sup_file, d / "psi.bin", MemoryBudget(units=100_000), stats
+            )
+            return {(u, v): p for u, v, p in out.scan()}
+
+    def test_k_starts_at_5(self, psi):
+        """'k is set to 5 in Step 4 of Algorithm 7' — max psi is 5."""
+        assert max(psi.values()) == 5
+
+    def test_u5_is_the_five_clique(self, psi):
+        """Figure 5(a): U_5 induces the clique {a,b,c,d,e}."""
+        u5 = set()
+        for (u, v), p in psi.items():
+            if p >= 5:
+                u5.add(u)
+                u5.add(v)
+        assert u5 == {vid(c) for c in "abcde"}
+
+    def test_u4_matches_figure_5b(self, psi):
+        """Figure 5(b): U_4 = {d,e,f,g,h,i,j} once Phi_5 is classified."""
+        classified = {e for e in RUNNING_EXAMPLE_CLASSES[5]}
+        u4 = set()
+        for (u, v), p in psi.items():
+            if p >= 4 and (u, v) not in classified:
+                u4.add(u)
+                u4.add(v)
+        assert u4 == {vid(c) for c in "defghij"}
+
+    def test_phi5_and_phi4_computed_in_order(self, g):
+        from repro.core import truss_decomposition_topdown
+
+        td = truss_decomposition_topdown(g, t=2)
+        assert sorted(td.k_class(5)) == sorted(RUNNING_EXAMPLE_CLASSES[5])
+        assert sorted(td.k_class(4)) == sorted(RUNNING_EXAMPLE_CLASSES[4])
+        # t=2 stops before the 3-class
+        assert td.k_class(3) == []
+
+
+class TestExternalAlgorithmsOnRunningExample:
+    @pytest.mark.parametrize("units", [8, 16, 64])
+    def test_bottomup_reproduces_example2(self, units):
+        from repro.core import truss_decomposition_bottomup
+        from repro.exio import MemoryBudget
+
+        g = running_example_graph()
+        td = truss_decomposition_bottomup(g, budget=MemoryBudget(units=units))
+        for k, edges in RUNNING_EXAMPLE_CLASSES.items():
+            assert sorted(td.k_class(k)) == sorted(edges)
+
+    @pytest.mark.parametrize("units", [8, 16, 64])
+    def test_topdown_reproduces_example2(self, units):
+        from repro.core import truss_decomposition_topdown
+        from repro.exio import MemoryBudget
+
+        g = running_example_graph()
+        td = truss_decomposition_topdown(g, budget=MemoryBudget(units=units))
+        for k, edges in RUNNING_EXAMPLE_CLASSES.items():
+            assert sorted(td.k_class(k)) == sorted(edges)
+
+    def test_mapreduce_reproduces_example2(self):
+        from repro.core import truss_decomposition_mapreduce
+
+        g = running_example_graph()
+        td = truss_decomposition_mapreduce(g)
+        for k, edges in RUNNING_EXAMPLE_CLASSES.items():
+            assert sorted(td.k_class(k)) == sorted(edges)

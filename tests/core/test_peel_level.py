@@ -1,0 +1,67 @@
+"""Property tests for the shared level-peeling primitive."""
+
+from hypothesis import given, settings
+
+from repro.core import peel_level, truss_decomposition_improved
+from repro.graph import Graph, complete_graph
+
+from conftest import small_edge_lists
+
+
+class TestPeelLevelBottomUpMode:
+    """strict=False removes sup <= k-2: Procedure 5's semantics."""
+
+    def test_removes_exactly_phi_k_on_full_graph(self):
+        g = Graph(complete_graph(4).edges())
+        g.add_edge(0, 9)
+        g.add_edge(1, 9)  # edge pair forming one triangle with (0,1)
+        td = truss_decomposition_improved(g)
+        # at level 3, peeling T_3 = whole graph minus Phi_2 removes Phi_3
+        t3 = td.k_truss(3)
+        targets = set(t3.edges())
+        removed = peel_level(t3, targets, 3, strict=False)
+        assert sorted(removed) == sorted(td.k_class(3))
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_edge_lists())
+    def test_survivors_have_high_support(self, edges):
+        g = Graph(edges)
+        targets = set(g.edges())
+        k = 4
+        peel_level(g, targets, k, strict=False)
+        for u, v in g.edges():
+            assert len(g.common_neighbors(u, v)) > k - 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_edge_lists())
+    def test_only_targets_removed(self, edges):
+        g = Graph(edges)
+        all_edges = list(g.edges())
+        targets = set(all_edges[::2])
+        protected = set(all_edges) - targets
+        peel_level(g, targets, 5, strict=False)
+        for e in protected:
+            assert g.has_edge(*e)
+
+
+class TestPeelLevelTopDownMode:
+    """strict=True removes sup < k-2: Procedure 8's semantics."""
+
+    def test_clique_survives_its_level(self):
+        g = complete_graph(5)
+        removed = peel_level(g, set(g.edges()), 5, strict=True)
+        assert removed == []  # sup == 3 == k-2 everywhere: all survive
+
+    def test_clique_dies_above_its_level(self):
+        g = complete_graph(5)
+        removed = peel_level(g, set(g.edges()), 6, strict=True)
+        assert len(removed) == 10
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_edge_lists())
+    def test_fixpoint_property(self, edges):
+        g = Graph(edges)
+        k = 4
+        peel_level(g, set(g.edges()), k, strict=True)
+        # re-peeling removes nothing: a true fixpoint
+        assert peel_level(g, set(g.edges()), k, strict=True) == []

@@ -1,0 +1,67 @@
+"""Targeted unit tests for top-down internals (kinit, pruning, valid set)."""
+
+import pytest
+
+from repro.core.topdown import _choose_kinit, _extract_candidate, _valid_subgraph
+from repro.exio import DiskEdgeFile, IOStats, MemoryBudget
+from repro.graph import Graph, complete_graph
+
+
+def make_psi_file(tmp_path, records):
+    return DiskEdgeFile.from_records(tmp_path / "psi.bin", records, IOStats())
+
+
+class TestChooseKinit:
+    def test_everything_fits_gives_lowest_level(self, tmp_path):
+        f = make_psi_file(tmp_path, [(0, 1, 5), (1, 2, 4), (2, 3, 3)])
+        assert _choose_kinit(f, MemoryBudget(units=10_000), k1st=5) == 3
+
+    def test_tight_memory_stays_at_k1st(self, tmp_path):
+        # K6 edges at psi 6: even level 6's candidate exceeds the budget
+        g = complete_graph(6)
+        f = make_psi_file(tmp_path, [(u, v, 6) for u, v in g.edges()])
+        assert _choose_kinit(f, MemoryBudget(units=8), k1st=6) == 6
+
+    def test_intermediate_budget_partial_descent(self, tmp_path):
+        # two tiers: a small psi-9 clique and a big psi-3 blob
+        records = [(u, v, 9) for u, v in complete_graph(4).edges()]
+        records += [(100 + i, 200 + i, 3) for i in range(60)]
+        f = make_psi_file(tmp_path, records)
+        k = _choose_kinit(f, MemoryBudget(units=60), k1st=9)
+        assert 3 < k <= 9  # descends below 9, cannot reach 3
+
+
+class TestExtractCandidate:
+    def test_only_unclassified_high_psi_define_uk(self, tmp_path):
+        f = make_psi_file(
+            tmp_path, [(0, 1, 5), (1, 2, 5), (3, 4, 2)]
+        )
+        h, psi_of, u_k = _extract_candidate(f, classified={(0, 1): 5}, k=5)
+        assert u_k == {1, 2}
+        # (0,1) rides along (incident to 1) but is classified
+        assert set(h.edges()) == {(0, 1), (1, 2)}
+        assert psi_of[(1, 2)] == 5
+
+    def test_empty_uk_when_all_classified(self, tmp_path):
+        f = make_psi_file(tmp_path, [(0, 1, 5)])
+        h, _psi, u_k = _extract_candidate(f, classified={(0, 1): 5}, k=3)
+        assert u_k == set()
+        assert h.num_edges == 0
+
+
+class TestValidSubgraph:
+    def test_low_psi_unclassified_excluded(self):
+        h = Graph([(0, 1), (1, 2), (0, 2)])
+        psi_of = {(0, 1): 5, (1, 2): 3, (0, 2): 5}
+        valid, candidates = _valid_subgraph(h, psi_of, classified={}, k=5)
+        assert set(valid.edges()) == {(0, 1), (0, 2)}
+        assert candidates == {(0, 1), (0, 2)}
+
+    def test_classified_included_but_not_candidate(self):
+        h = Graph([(0, 1), (1, 2)])
+        psi_of = {(0, 1): 4, (1, 2): 4}
+        valid, candidates = _valid_subgraph(
+            h, psi_of, classified={(0, 1): 7}, k=4
+        )
+        assert set(valid.edges()) == {(0, 1), (1, 2)}
+        assert candidates == {(1, 2)}

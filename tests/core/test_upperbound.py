@@ -1,0 +1,108 @@
+"""Unit tests for Procedure 6 (UpperBounding) and the h-index helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import h_index, truss_decomposition_improved, upper_bounding, x_excluding
+from repro.exio import DiskEdgeFile, IOStats, MemoryBudget
+from repro.graph import Graph, complete_graph
+from repro.triangles import edge_supports
+
+from conftest import random_graph
+
+
+class TestHIndex:
+    def test_basic_cases(self):
+        assert h_index([]) == 0
+        assert h_index([0, 0]) == 0
+        assert h_index([1]) == 1
+        assert h_index([5, 4, 3, 2, 1]) == 3
+        assert h_index([10, 10, 10]) == 3
+
+    @given(st.lists(st.integers(0, 50), max_size=40))
+    def test_definition(self, values):
+        h = h_index(values)
+        assert sum(1 for v in values if v >= h) >= h
+        assert sum(1 for v in values if v >= h + 1) < h + 1
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=25), st.integers(0, 24))
+    def test_x_excluding_matches_recount(self, values, idx):
+        idx = idx % len(values)
+        h = h_index(values)
+        c = sum(1 for v in values if v >= h)
+        removed = values[:idx] + values[idx + 1 :]
+        assert x_excluding(h, c, values[idx]) == h_index(removed)
+
+
+class TestPaperExample4:
+    def test_edge_dg_bound_is_four(self):
+        """Example 4: sup((d,g))=3, x_d=3 but x_g=2, so psi((d,g))=4."""
+        from repro.datasets import running_example_graph, vid
+
+        g = running_example_graph()
+        sup = edge_supports(g)
+        d, gg = vid("d"), vid("g")
+        e = (d, gg) if d < gg else (gg, d)
+        assert sup[e] == 3
+
+        def x_of(w):
+            incident = [
+                sup[(min(w, n), max(w, n))] for n in g.neighbors(w)
+                if (min(w, n), max(w, n)) != e
+            ]
+            return h_index(incident)
+
+        assert x_of(d) == 3
+        assert x_of(gg) == 2
+        assert min(sup[e], x_of(d), x_of(gg)) + 2 == 4
+
+    def test_five_class_edges_bound_is_five(self):
+        from repro.datasets import RUNNING_EXAMPLE_CLASSES, running_example_graph
+
+        g = running_example_graph()
+        psi = compute_psi(g)
+        for e in RUNNING_EXAMPLE_CLASSES[5]:
+            assert psi[e] == 5
+
+
+def compute_psi(g, units=100_000):
+    """Run the real UpperBounding procedure over a spilled support file."""
+    import tempfile
+    from pathlib import Path
+
+    sup = edge_supports(g)
+    with tempfile.TemporaryDirectory() as d:
+        d = Path(d)
+        stats = IOStats()
+        sup_file = DiskEdgeFile.from_records(
+            d / "sup.bin", [(u, v, s) for (u, v), s in sup.items()], stats
+        )
+        out = upper_bounding(sup_file, d / "psi.bin", MemoryBudget(units=units), stats)
+        return {(u, v): psi for u, v, psi in out.scan()}
+
+
+class TestUpperBounding:
+    def test_clique_bound_tight(self):
+        psi = compute_psi(complete_graph(6))
+        assert all(p == 6 for p in psi.values())
+
+    @pytest.mark.parametrize("units", [16, 64, 100_000])
+    def test_bound_dominates_trussness(self, units):
+        g = random_graph(24, 0.3, seed=9)
+        ref = truss_decomposition_improved(g)
+        psi = compute_psi(g, units=units)
+        for e, k in ref.trussness.items():
+            if e in psi:  # support-0 edges are upstream of this stage
+                assert psi[e] >= k, e
+
+    def test_batched_equals_unbatched(self):
+        g = random_graph(20, 0.35, seed=4)
+        assert compute_psi(g, units=16) == compute_psi(g, units=100_000)
+
+    def test_bound_never_exceeds_support_plus_two(self):
+        g = random_graph(20, 0.3, seed=2)
+        sup = edge_supports(g)
+        psi = compute_psi(g)
+        for e, p in psi.items():
+            assert p <= sup[e] + 2

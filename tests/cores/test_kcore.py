@@ -1,0 +1,91 @@
+"""Unit + property tests for repro.cores.kcore."""
+
+from hypothesis import given, settings
+
+from repro.cores import core_numbers, degeneracy, k_core, max_core
+from repro.graph import Graph, complete_graph, cycle_graph, disjoint_union, star_graph
+
+from conftest import small_edge_lists
+from oracles import brute_core_numbers
+
+
+class TestCoreNumbers:
+    def test_empty(self):
+        assert core_numbers(Graph()) == {}
+
+    def test_clique(self):
+        core = core_numbers(complete_graph(5))
+        assert all(c == 4 for c in core.values())
+
+    def test_cycle_is_2core(self):
+        core = core_numbers(cycle_graph(7))
+        assert all(c == 2 for c in core.values())
+
+    def test_star_is_1core(self):
+        core = core_numbers(star_graph(5))
+        assert all(c == 1 for c in core.values())
+
+    def test_isolated_vertex_core_zero(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(9)
+        assert core_numbers(g)[9] == 0
+
+    def test_clique_with_tail(self):
+        g = complete_graph(4)
+        g.add_edge(0, 10)
+        g.add_edge(10, 11)
+        core = core_numbers(g)
+        assert core[0] == 3
+        assert core[10] == 1
+        assert core[11] == 1
+
+    @settings(max_examples=60)
+    @given(small_edge_lists())
+    def test_matches_bruteforce(self, edges):
+        g = Graph(edges)
+        assert core_numbers(g) == brute_core_numbers(g)
+
+    @settings(max_examples=30)
+    @given(small_edge_lists())
+    def test_matches_networkx(self, edges):
+        import networkx as nx
+
+        g = Graph(edges)
+        ng = nx.Graph(list(g.edges()))
+        ng.add_nodes_from(g.vertices())
+        assert core_numbers(g) == nx.core_number(ng)
+
+
+class TestKCoreSubgraph:
+    def test_k_core_extraction(self):
+        g = disjoint_union([complete_graph(5), complete_graph(3)])
+        h = k_core(g, 3)
+        assert h.num_vertices == 5
+        assert h.num_edges == 10
+
+    def test_k_core_empty_when_k_too_large(self):
+        assert k_core(complete_graph(4), 4).num_edges == 0
+
+    def test_max_core(self):
+        g = disjoint_union([complete_graph(5), cycle_graph(10)])
+        cmax, c = max_core(g)
+        assert cmax == 4
+        assert c.num_vertices == 5
+
+    def test_max_core_empty_graph(self):
+        cmax, c = max_core(Graph())
+        assert cmax == 0
+        assert c.num_vertices == 0
+
+    def test_degeneracy(self):
+        assert degeneracy(complete_graph(6)) == 5
+        assert degeneracy(Graph()) == 0
+
+    @settings(max_examples=40)
+    @given(small_edge_lists())
+    def test_k_core_min_degree_invariant(self, edges):
+        g = Graph(edges)
+        cmax, _ = max_core(g)
+        for k in range(1, cmax + 1):
+            h = k_core(g, k)
+            assert all(h.degree(v) >= k for v in h.vertices())

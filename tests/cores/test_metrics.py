@@ -1,0 +1,100 @@
+"""Unit + property tests for repro.cores.metrics."""
+
+import math
+
+from hypothesis import given, settings
+
+from repro.cores import (
+    GraphStatistics,
+    average_clustering,
+    density,
+    global_clustering,
+    local_clustering,
+    median_degree,
+)
+from repro.graph import Graph, complete_graph, cycle_graph, star_graph
+
+from conftest import small_edge_lists
+from oracles import brute_average_clustering, brute_local_clustering
+
+
+class TestLocalClustering:
+    def test_clique_vertex(self):
+        assert local_clustering(complete_graph(4), 0) == 1.0
+
+    def test_low_degree_zero(self):
+        g = Graph([(0, 1)])
+        assert local_clustering(g, 0) == 0.0
+
+    def test_half_connected(self):
+        # 0 adjacent to 1,2,3; only (1,2) among them
+        g = Graph([(0, 1), (0, 2), (0, 3), (1, 2)])
+        assert math.isclose(local_clustering(g, 0), 1 / 3)
+
+    @settings(max_examples=40)
+    @given(small_edge_lists())
+    def test_matches_bruteforce(self, edges):
+        g = Graph(edges)
+        for v in g.vertices():
+            assert math.isclose(local_clustering(g, v), brute_local_clustering(g, v))
+
+
+class TestAverageClustering:
+    def test_clique_is_one(self):
+        assert math.isclose(average_clustering(complete_graph(5)), 1.0)
+
+    def test_triangle_free_is_zero(self):
+        assert average_clustering(cycle_graph(8)) == 0.0
+        assert average_clustering(star_graph(5)) == 0.0
+
+    def test_empty(self):
+        assert average_clustering(Graph()) == 0.0
+
+    @settings(max_examples=40)
+    @given(small_edge_lists())
+    def test_matches_bruteforce(self, edges):
+        g = Graph(edges)
+        assert math.isclose(
+            average_clustering(g), brute_average_clustering(g), abs_tol=1e-12
+        )
+
+    @settings(max_examples=25)
+    @given(small_edge_lists())
+    def test_matches_networkx(self, edges):
+        import networkx as nx
+
+        g = Graph(edges)
+        if g.num_vertices == 0:
+            return
+        ng = nx.Graph(list(g.edges()))
+        ng.add_nodes_from(g.vertices())
+        assert math.isclose(
+            average_clustering(g), nx.average_clustering(ng), abs_tol=1e-12
+        )
+
+
+class TestOtherMetrics:
+    def test_global_clustering_clique(self):
+        assert math.isclose(global_clustering(complete_graph(6)), 1.0)
+
+    def test_global_clustering_no_wedges(self):
+        assert global_clustering(Graph([(0, 1)])) == 0.0
+
+    def test_density(self):
+        assert math.isclose(density(complete_graph(5)), 1.0)
+        assert density(Graph()) == 0.0
+        assert math.isclose(density(Graph([(0, 1), (2, 3)])), 2 * 2 / (4 * 3))
+
+    def test_median_degree(self):
+        g = star_graph(4)  # degrees 4,1,1,1,1
+        assert median_degree(g) == 1.0
+        assert median_degree(Graph()) == 0.0
+
+    def test_graph_statistics(self):
+        g = complete_graph(4)
+        s = GraphStatistics.of(g)
+        assert s.num_vertices == 4
+        assert s.num_edges == 6
+        assert s.max_degree == 3
+        assert s.median_degree == 3.0
+        assert s.size_bytes == (2 * 4 + 2 * 6) * 8

@@ -1,0 +1,128 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.core import truss_decomposition
+from repro.cores import average_clustering, max_core, median_degree
+from repro.datasets import (
+    barabasi_albert,
+    collaboration_graph,
+    community_graph,
+    erdos_renyi,
+    plant_biclique,
+    plant_clique,
+    powerlaw_graph,
+    star_heavy_graph,
+)
+from repro.errors import GraphError
+from repro.graph import Graph
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi(50, 100, seed=1)
+        assert g.num_vertices == 50
+        assert g.num_edges == 100
+
+    def test_deterministic(self):
+        assert set(erdos_renyi(30, 60, seed=5).edges()) == set(
+            erdos_renyi(30, 60, seed=5).edges()
+        )
+
+    def test_seed_changes_graph(self):
+        assert set(erdos_renyi(30, 60, seed=1).edges()) != set(
+            erdos_renyi(30, 60, seed=2).edges()
+        )
+
+    def test_rejects_impossible_m(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(4, 7)
+
+    def test_full_density(self):
+        g = erdos_renyi(5, 10, seed=0)
+        assert g.num_edges == 10
+
+
+class TestBarabasiAlbert:
+    def test_counts(self):
+        g = barabasi_albert(100, 3, seed=2)
+        assert g.num_vertices == 100
+        # seed clique C(4,2)=6 edges + 96 * 3
+        assert g.num_edges == 6 + 96 * 3
+
+    def test_hub_emerges(self):
+        g = barabasi_albert(300, 2, seed=3)
+        assert g.max_degree() > 10
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(3, 3)
+        with pytest.raises(GraphError):
+            barabasi_albert(10, 0)
+
+
+class TestPowerlaw:
+    def test_heavy_tail(self):
+        g = powerlaw_graph(2000, 4000, exponent=2.1, seed=4)
+        assert g.max_degree() > 10 * median_degree(g)
+
+    def test_edge_budget_met_approximately(self):
+        g = powerlaw_graph(1000, 3000, seed=5)
+        assert g.num_edges >= 2700  # duplicates may cost a few
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            powerlaw_graph(1, 0)
+        with pytest.raises(GraphError):
+            powerlaw_graph(10, 5, exponent=0.9)
+
+
+class TestCollaboration:
+    def test_large_teams_give_large_kmax(self):
+        g = collaboration_graph(400, 300, seed=6, max_team=20)
+        td = truss_decomposition(g)
+        assert td.kmax >= 8
+
+    def test_high_clustering(self):
+        g = collaboration_graph(500, 400, seed=7)
+        assert average_clustering(g) > 0.3
+
+
+class TestCommunityAndStars:
+    def test_community_clustering(self):
+        g = community_graph(500, 300, community_size=5, seed=8)
+        assert average_clustering(g) > 0.2
+
+    def test_star_heavy_median_low(self):
+        g = star_heavy_graph(2000, 3000, n_hubs=5, seed=9)
+        assert median_degree(g) <= 3
+        assert g.max_degree() > 100
+
+
+class TestPlanting:
+    def test_plant_clique_pins_kmax(self):
+        g = erdos_renyi(300, 500, seed=10)
+        members = plant_clique(g, 12, seed=11)
+        assert len(members) == 12
+        td = truss_decomposition(g)
+        assert td.kmax == 12
+        # the kmax-truss contains the planted clique
+        t = td.k_truss(12)
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                assert t.has_edge(u, v)
+
+    def test_plant_biclique_pins_core_not_truss(self):
+        g = erdos_renyi(400, 600, seed=12)
+        plant_biclique(g, 20, seed=13)
+        cmax, _ = max_core(g)
+        td = truss_decomposition(g)
+        assert cmax >= 20
+        assert td.kmax < 20  # triangle-poor: trussness stays low
+
+    def test_plant_validation(self):
+        g = erdos_renyi(10, 10, seed=1)
+        with pytest.raises(GraphError):
+            plant_clique(g, 11)
+        with pytest.raises(GraphError):
+            plant_biclique(g, 6)

@@ -1,0 +1,112 @@
+"""Tests for the paper's example graphs (Figure 1 + Figure 2)."""
+
+import pytest
+
+from repro.core import truss_decomposition
+from repro.cores import average_clustering, core_numbers, k_core, max_core
+from repro.datasets import (
+    EXAMPLE3_PARTITION,
+    MANAGER_CLIQUES,
+    RUNNING_EXAMPLE_CLASSES,
+    clique_union_edges,
+    manager_graph,
+    running_example_graph,
+    running_example_trussness,
+    vid,
+    vname,
+)
+
+
+class TestRunningExample:
+    """Example 2: the exact k-classes printed in the paper."""
+
+    def test_shape(self):
+        g = running_example_graph()
+        assert g.num_vertices == 12
+        assert g.num_edges == 26
+
+    def test_k_classes_match_paper(self):
+        g = running_example_graph()
+        td = truss_decomposition(g)
+        for k, edges in RUNNING_EXAMPLE_CLASSES.items():
+            assert sorted(td.k_class(k)) == sorted(edges), f"Phi_{k}"
+        assert td.kmax == 5
+
+    def test_phi2_is_single_edge_ik(self):
+        assert RUNNING_EXAMPLE_CLASSES[2] == [(vid("i"), vid("k"))]
+
+    def test_trussness_helper_consistent(self):
+        g = running_example_graph()
+        td = truss_decomposition(g)
+        assert dict(td.trussness) == running_example_trussness()
+
+    def test_vertex_naming_roundtrip(self):
+        for v in range(12):
+            assert vid(vname(v)) == v
+
+    def test_example3_partition_covers_vertices(self):
+        flat = [v for block in EXAMPLE3_PARTITION for v in block]
+        assert sorted(flat) == list(range(12))
+
+    def test_truss_hierarchy(self):
+        g = running_example_graph()
+        td = truss_decomposition(g)
+        for k in (3, 4, 5):
+            assert set(td.k_truss_edges(k + 1)) <= set(td.k_truss_edges(k))
+
+
+class TestManagerGraph:
+    """Example 1 / Figure 1: every property the paper asserts."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return manager_graph()
+
+    @pytest.fixture(scope="class")
+    def decomposition(self, graph):
+        return truss_decomposition(graph)
+
+    def test_21_managers(self, graph):
+        assert graph.num_vertices == 21
+
+    def test_no_5_truss(self, decomposition):
+        assert decomposition.kmax == 4
+
+    def test_4_truss_is_exactly_the_five_cliques(self, decomposition):
+        t4 = decomposition.k_truss(4)
+        assert sorted(t4.edges()) == clique_union_edges()
+
+    def test_named_cliques_present(self, graph):
+        for clique in MANAGER_CLIQUES:
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    assert graph.has_edge(clique[i], clique[j])
+
+    def test_no_4_core(self, graph):
+        cmax, _ = max_core(graph)
+        assert cmax == 3
+
+    def test_3_core_nonempty_proper_subgraph(self, graph):
+        c3 = k_core(graph, 3)
+        assert 0 < c3.num_vertices < graph.num_vertices
+
+    def test_clustering_coefficients_ordered_and_close_to_paper(
+        self, graph, decomposition
+    ):
+        ccg = average_clustering(graph)
+        cc3 = average_clustering(k_core(graph, 3))
+        cc4 = average_clustering(decomposition.k_truss(4))
+        assert ccg < cc3 < cc4
+        # paper: 0.51 / 0.65 / 0.80
+        assert abs(ccg - 0.51) < 0.05
+        assert abs(cc3 - 0.65) < 0.05
+        assert abs(cc4 - 0.80) < 0.05
+
+    def test_4_truss_satisfies_3_core_requirement(self, decomposition):
+        """Example 1: 'The 4-truss also satisfies the requirement of a
+        3-core by definition.'"""
+        t4 = decomposition.k_truss(4)
+        assert all(t4.degree(v) >= 3 for v in t4.vertices())
+
+    def test_deterministic(self):
+        assert set(manager_graph().edges()) == set(manager_graph().edges())

@@ -1,0 +1,77 @@
+"""Tests for the SNAP-like dataset registry (small scales for speed)."""
+
+import pytest
+
+from repro.core import truss_decomposition
+from repro.datasets import (
+    IN_MEMORY_DATASETS,
+    MASSIVE_DATASETS,
+    SMALL_DATASETS,
+    TRUSS_VS_CORE_DATASETS,
+    dataset_names,
+    dataset_spec,
+    load_dataset,
+)
+from repro.errors import GraphError
+
+
+class TestRegistryShape:
+    def test_nine_datasets(self):
+        assert len(dataset_names()) == 9
+
+    def test_groupings_are_registered(self):
+        names = set(dataset_names())
+        for group in (
+            IN_MEMORY_DATASETS,
+            MASSIVE_DATASETS,
+            SMALL_DATASETS,
+            TRUSS_VS_CORE_DATASETS,
+        ):
+            assert set(group) <= names
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(GraphError):
+            load_dataset("facebook")
+        with pytest.raises(GraphError):
+            dataset_spec("facebook")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(GraphError):
+            load_dataset("p2p", scale=0)
+
+    def test_paper_stats_attached(self):
+        spec = dataset_spec("wiki")
+        assert spec.paper.kmax == 53
+        assert spec.paper.median_degree == 1
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_small_scale_generates(self, name):
+        g = load_dataset(name, scale=0.02)
+        assert g.num_edges > 0
+        assert g.num_vertices > 0
+
+    def test_deterministic(self):
+        a = load_dataset("p2p", scale=0.05)
+        b = load_dataset("p2p", scale=0.05)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_scale_changes_size(self):
+        small = load_dataset("amazon", scale=0.02)
+        large = load_dataset("amazon", scale=0.08)
+        assert large.num_edges > small.num_edges
+
+    @pytest.mark.parametrize("name", ["p2p", "hep", "btc"])
+    def test_kmax_pinned_at_small_scale(self, name):
+        """Planted cliques keep kmax stable across scales."""
+        spec = dataset_spec(name)
+        g = load_dataset(name, scale=0.05)
+        td = truss_decomposition(g)
+        assert td.kmax == spec.expected_kmax
+
+    def test_wiki_is_hub_heavy(self):
+        from repro.cores import median_degree
+
+        g = load_dataset("wiki", scale=0.2)
+        assert g.max_degree() > 50 * median_degree(g)

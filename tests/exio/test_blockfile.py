@@ -1,0 +1,100 @@
+"""Unit tests for repro.exio.blockfile."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exio import BlockReader, BlockWriter, IOStats, file_size, remove_if_exists
+
+
+class TestBlockWriter:
+    def test_roundtrip_bytes(self, tmp_path):
+        stats = IOStats(block_size=8)
+        p = tmp_path / "f.bin"
+        with BlockWriter(p, stats) as w:
+            w.write(b"hello")
+            w.write(b"world!!")
+        assert p.read_bytes() == b"helloworld!!"
+        assert stats.bytes_written == 12
+        assert stats.blocks_written == 2  # 8 + 4
+
+    def test_append_mode(self, tmp_path):
+        stats = IOStats(block_size=4)
+        p = tmp_path / "f.bin"
+        with BlockWriter(p, stats) as w:
+            w.write(b"abcd")
+        with BlockWriter(p, stats, append=True) as w:
+            w.write(b"ef")
+        assert p.read_bytes() == b"abcdef"
+
+    def test_write_after_close_raises(self, tmp_path):
+        stats = IOStats()
+        w = BlockWriter(tmp_path / "f.bin", stats)
+        w.close()
+        with pytest.raises(ValueError):
+            w.write(b"x")
+        w.close()  # double close is fine
+
+    def test_empty_file_no_blocks(self, tmp_path):
+        stats = IOStats()
+        with BlockWriter(tmp_path / "f.bin", stats):
+            pass
+        assert stats.blocks_written == 0
+        assert file_size(tmp_path / "f.bin") == 0
+
+
+class TestBlockReader:
+    def test_read_exactly(self, tmp_path):
+        stats = IOStats(block_size=4)
+        p = tmp_path / "f.bin"
+        p.write_bytes(b"abcdefgh")
+        with BlockReader(p, stats) as r:
+            assert r.read_exactly(3) == b"abc"
+            assert r.read_exactly(5) == b"defgh"
+            assert r.read_exactly(4) == b""  # clean EOF
+        assert stats.blocks_read == 2
+        assert stats.scans_started == 1
+
+    def test_truncated_record_raises(self, tmp_path):
+        stats = IOStats(block_size=4)
+        p = tmp_path / "f.bin"
+        p.write_bytes(b"abc")
+        with BlockReader(p, stats) as r:
+            with pytest.raises(EOFError):
+                r.read_exactly(5)
+
+    def test_spanning_blocks(self, tmp_path):
+        stats = IOStats(block_size=2)
+        p = tmp_path / "f.bin"
+        p.write_bytes(bytes(range(10)))
+        with BlockReader(p, stats) as r:
+            assert r.read_exactly(7) == bytes(range(7))
+        assert stats.blocks_read >= 4
+
+    @settings(max_examples=20)
+    @given(st.binary(max_size=200), st.integers(1, 16))
+    def test_roundtrip_property(self, payload, bs):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as d:
+            p = Path(d) / "f.bin"
+            stats = IOStats(block_size=bs)
+            with BlockWriter(p, stats) as w:
+                w.write(payload)
+            with BlockReader(p, stats) as r:
+                assert r.read_exactly(len(payload)) == payload
+            assert stats.bytes_written == len(payload)
+            assert stats.bytes_read == len(payload)
+
+
+class TestHelpers:
+    def test_file_size_missing(self, tmp_path):
+        assert file_size(tmp_path / "nope") == 0
+
+    def test_remove_if_exists(self, tmp_path):
+        p = tmp_path / "f"
+        p.write_text("x")
+        remove_if_exists(p)
+        assert not p.exists()
+        remove_if_exists(p)  # no error on missing

@@ -1,0 +1,72 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.errors import MemoryBudgetError
+from repro.exio import BufferPool, IOStats
+
+
+@pytest.fixture
+def data_file(tmp_path):
+    p = tmp_path / "data.bin"
+    p.write_bytes(bytes(range(256)) * 4)  # 1024 bytes
+    return p
+
+
+class TestBufferPool:
+    def test_capacity_validation(self, data_file):
+        with pytest.raises(MemoryBudgetError):
+            BufferPool(data_file, IOStats(), capacity_pages=0)
+
+    def test_read_page_roundtrip(self, data_file):
+        stats = IOStats(block_size=256)
+        with BufferPool(data_file, stats, capacity_pages=2) as pool:
+            assert pool.read_page(0) == bytes(range(256))
+            assert pool.read_page(3) == bytes(range(256))
+
+    def test_hit_and_miss_accounting(self, data_file):
+        stats = IOStats(block_size=256)
+        with BufferPool(data_file, stats, capacity_pages=2) as pool:
+            pool.read_page(0)
+            pool.read_page(0)
+            pool.read_page(1)
+            assert pool.misses == 2
+            assert pool.hits == 1
+            assert pool.hit_rate == pytest.approx(1 / 3)
+            assert stats.blocks_read == 2
+
+    def test_lru_eviction(self, data_file):
+        stats = IOStats(block_size=256)
+        with BufferPool(data_file, stats, capacity_pages=2) as pool:
+            pool.read_page(0)
+            pool.read_page(1)
+            pool.read_page(0)  # 0 most recent; 1 is LRU
+            pool.read_page(2)  # evicts 1
+            assert pool.evictions == 1
+            pool.read_page(0)  # still cached
+            assert pool.hits == 2
+            pool.read_page(1)  # miss again
+            assert pool.misses == 4
+
+    def test_seeks_charged_for_nonsequential(self, data_file):
+        stats = IOStats(block_size=256)
+        with BufferPool(data_file, stats, capacity_pages=8) as pool:
+            pool.read_page(0)  # first fetch: a seek
+            pool.read_page(1)  # sequential successor: no seek
+            pool.read_page(3)  # jump: seek
+        assert stats.seeks == 2
+
+    def test_read_range_within_and_across_pages(self, data_file):
+        stats = IOStats(block_size=256)
+        with BufferPool(data_file, stats, capacity_pages=4) as pool:
+            assert pool.read_range(10, 5) == bytes(range(10, 15))
+            assert pool.read_range(250, 12) == bytes(range(250, 256)) + bytes(
+                range(0, 6)
+            )
+            assert pool.read_range(5, 0) == b""
+
+    def test_read_range_past_eof_raises(self, data_file):
+        stats = IOStats(block_size=256)
+        with BufferPool(data_file, stats, capacity_pages=2) as pool:
+            with pytest.raises(EOFError):
+                pool.read_range(1020, 10)

@@ -1,0 +1,102 @@
+"""Unit tests for repro.exio.diskgraph.DiskAdjacencyGraph."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.exio import DiskAdjacencyGraph, IOStats
+from repro.graph import Graph, complete_graph
+
+from conftest import small_edge_lists
+
+
+def build(tmp_path, edges, memory_records=4, block_size=64):
+    stats = IOStats(block_size=block_size)
+    dg = DiskAdjacencyGraph.build_from_edges(
+        edges, tmp_path / "g.adj", stats, tmp_path / "work",
+        memory_records=memory_records,
+    )
+    return dg, stats
+
+
+class TestBuild:
+    def test_counts(self, tmp_path):
+        dg, _ = build(tmp_path, complete_graph(5).edges())
+        assert dg.num_vertices == 5
+        assert dg.num_edges == 10
+        assert dg.size == 15
+
+    def test_empty(self, tmp_path):
+        dg, _ = build(tmp_path, [])
+        assert dg.num_vertices == 0
+        assert dg.num_edges == 0
+        assert list(dg.scan()) == []
+
+    def test_duplicate_edges_collapse(self, tmp_path):
+        dg, _ = build(tmp_path, [(1, 2), (2, 1), (1, 2)])
+        assert dg.num_edges == 1
+
+    def test_build_from_graph(self, tmp_path):
+        g = complete_graph(4)
+        stats = IOStats()
+        dg = DiskAdjacencyGraph.build_from_graph(
+            g, tmp_path / "g.adj", stats, tmp_path / "w"
+        )
+        assert set(dg.scan_edges()) == set(g.edges())
+
+    def test_io_accounted(self, tmp_path):
+        _, stats = build(tmp_path, complete_graph(10).edges(), memory_records=8)
+        assert stats.blocks_written > 0
+        assert stats.blocks_read > 0
+
+
+class TestScan:
+    def test_vertices_ascending_with_sorted_neighbors(self, tmp_path):
+        dg, _ = build(tmp_path, [(3, 1), (1, 2), (3, 2), (0, 3)])
+        rows = list(dg.scan())
+        assert [v for v, _ in rows] == [0, 1, 2, 3]
+        assert dict(rows)[3] == [0, 1, 2]
+
+    def test_scan_edges_canonical_once(self, tmp_path):
+        g = complete_graph(6)
+        dg, _ = build(tmp_path, g.edges())
+        edges = list(dg.scan_edges())
+        assert len(edges) == 15
+        assert set(edges) == set(g.edges())
+
+    def test_scan_vertices_degrees(self, tmp_path):
+        dg, _ = build(tmp_path, [(0, 1), (0, 2)])
+        assert dict(dg.scan_vertices()) == {0: 2, 1: 1, 2: 1}
+
+    def test_to_graph_roundtrip(self, tmp_path):
+        g = complete_graph(5)
+        dg, _ = build(tmp_path, g.edges())
+        assert set(dg.to_graph().edges()) == set(g.edges())
+
+    def test_each_scan_is_charged(self, tmp_path):
+        dg, stats = build(tmp_path, complete_graph(4).edges())
+        before = stats.snapshot()
+        list(dg.scan())
+        list(dg.scan())
+        assert stats.delta_since(before).scans_started == 2
+
+    def test_delete(self, tmp_path):
+        dg, _ = build(tmp_path, [(0, 1)])
+        dg.delete()
+        assert not dg.path.exists()
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_edge_lists())
+    def test_roundtrip_property(self, edges):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as d:
+            d = Path(d)
+            stats = IOStats(block_size=32)
+            dg = DiskAdjacencyGraph.build_from_edges(
+                edges, d / "g.adj", stats, d / "w", memory_records=3
+            )
+            g = Graph(edges)
+            assert set(dg.scan_edges()) == set(g.edges())
+            assert dg.num_edges == g.num_edges
+            assert dg.num_vertices == g.num_vertices

@@ -1,0 +1,103 @@
+"""Unit tests for repro.exio.edgefile.DiskEdgeFile."""
+
+import pytest
+
+from repro.exio import DiskEdgeFile, IOStats
+
+
+@pytest.fixture
+def stats():
+    return IOStats(block_size=48)
+
+
+class TestConstruction:
+    def test_empty_file(self, tmp_path, stats):
+        f = DiskEdgeFile(tmp_path / "e.bin", stats)
+        assert len(f) == 0
+        assert f.is_empty
+        assert list(f.scan()) == []
+
+    def test_from_records(self, tmp_path, stats):
+        f = DiskEdgeFile.from_records(
+            tmp_path / "e.bin", [(1, 2, 3), (4, 5, 6)], stats
+        )
+        assert len(f) == 2
+        assert list(f.scan()) == [(1, 2, 3), (4, 5, 6)]
+
+    def test_from_edges_constant_attr(self, tmp_path, stats):
+        f = DiskEdgeFile.from_edges(tmp_path / "e.bin", [(1, 2), (3, 4)], stats, attr=7)
+        assert list(f.scan()) == [(1, 2, 7), (3, 4, 7)]
+
+    def test_reopen_existing_recovers_count(self, tmp_path, stats):
+        path = tmp_path / "e.bin"
+        DiskEdgeFile.from_records(path, [(1, 2, 0)] * 5, stats)
+        g = DiskEdgeFile(path, stats)
+        assert len(g) == 5
+
+    def test_append_normalizes_orientation(self, tmp_path, stats):
+        f = DiskEdgeFile(tmp_path / "e.bin", stats)
+        f.append([(9, 2, 1)])
+        assert list(f.scan()) == [(2, 9, 1)]
+
+    def test_scan_edges_strips_attr(self, tmp_path, stats):
+        f = DiskEdgeFile.from_records(tmp_path / "e.bin", [(1, 2, 99)], stats)
+        assert list(f.scan_edges()) == [(1, 2)]
+
+
+class TestRewrite:
+    def test_rewrite_transform_and_drop(self, tmp_path, stats):
+        f = DiskEdgeFile.from_records(
+            tmp_path / "e.bin", [(1, 2, 0), (3, 4, 0), (5, 6, 0)], stats
+        )
+        kept = f.rewrite(lambda rec: None if rec[0] == 3 else (rec[0], rec[1], 9))
+        assert kept == 2
+        assert list(f.scan()) == [(1, 2, 9), (5, 6, 9)]
+        assert len(f) == 2
+
+    def test_rewrite_accounts_io(self, tmp_path, stats):
+        f = DiskEdgeFile.from_records(tmp_path / "e.bin", [(1, 2, 0)] * 10, stats)
+        before = stats.snapshot()
+        f.rewrite(lambda rec: rec)
+        d = stats.delta_since(before)
+        assert d.bytes_read == 240
+        assert d.bytes_written == 240
+
+    def test_remove_edges_single_chunk(self, tmp_path, stats):
+        f = DiskEdgeFile.from_records(
+            tmp_path / "e.bin", [(1, 2, 0), (3, 4, 0), (5, 6, 0)], stats
+        )
+        removed = f.remove_edges([(2, 1), (5, 6)])
+        assert removed == 2
+        assert list(f.scan_edges()) == [(3, 4)]
+
+    def test_remove_edges_chunked_multiple_scans(self, tmp_path, stats):
+        f = DiskEdgeFile.from_records(
+            tmp_path / "e.bin", [(i, i + 1, 0) for i in range(0, 20, 2)], stats
+        )
+        before = stats.snapshot()
+        removed = f.remove_edges(
+            [(0, 1), (2, 3), (4, 5), (6, 7)], chunk_size=2
+        )
+        assert removed == 4
+        # two chunks => two read scans in the rewrite phase
+        assert stats.delta_since(before).scans_started == 2
+        assert len(f) == 6
+
+    def test_remove_edges_empty_noop(self, tmp_path, stats):
+        f = DiskEdgeFile.from_records(tmp_path / "e.bin", [(1, 2, 0)], stats)
+        before = stats.snapshot()
+        assert f.remove_edges([]) == 0
+        assert stats.delta_since(before).total_blocks == 0
+
+    def test_update_attrs(self, tmp_path, stats):
+        f = DiskEdgeFile.from_records(
+            tmp_path / "e.bin", [(1, 2, 0), (3, 4, 0)], stats
+        )
+        assert f.update_attrs({(1, 2): 42}) == 1
+        assert list(f.scan()) == [(1, 2, 42), (3, 4, 0)]
+
+    def test_delete(self, tmp_path, stats):
+        f = DiskEdgeFile.from_records(tmp_path / "e.bin", [(1, 2, 0)], stats)
+        f.delete()
+        assert not f.path.exists()
+        assert len(f) == 0

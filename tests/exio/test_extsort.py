@@ -1,0 +1,107 @@
+"""Unit and property tests for repro.exio.extsort."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryBudgetError
+from repro.exio import DIRECTED, EDGE, ExternalSorter, IOStats
+
+
+def make_sorter(tmp_path, memory_records=4, fan_in=2, key=None, block_size=32):
+    stats = IOStats(block_size=block_size)
+    return (
+        ExternalSorter(
+            DIRECTED, tmp_path, stats, memory_records=memory_records,
+            fan_in=fan_in, key=key,
+        ),
+        stats,
+    )
+
+
+class TestValidation:
+    def test_zero_memory_rejected(self, tmp_path):
+        with pytest.raises(MemoryBudgetError):
+            ExternalSorter(EDGE, tmp_path, IOStats(), memory_records=0)
+
+    def test_fan_in_too_small(self, tmp_path):
+        with pytest.raises(ValueError):
+            ExternalSorter(EDGE, tmp_path, IOStats(), memory_records=4, fan_in=1)
+
+
+class TestSorting:
+    def test_empty_input_produces_empty_file(self, tmp_path):
+        sorter, _ = make_sorter(tmp_path)
+        out = tmp_path / "out.bin"
+        assert sorter.sort_to_file([], out) == 0
+        assert out.exists()
+        assert out.stat().st_size == 0
+
+    def test_single_run(self, tmp_path):
+        sorter, _ = make_sorter(tmp_path, memory_records=100)
+        recs = [(3, 1), (1, 2), (2, 0)]
+        assert list(sorter.sort_iter(recs)) == [(1, 2), (2, 0), (3, 1)]
+
+    def test_multiple_runs_and_merge_passes(self, tmp_path):
+        # 20 records, memory for 3, fan-in 2 => several merge passes
+        sorter, stats = make_sorter(tmp_path, memory_records=3, fan_in=2)
+        recs = [(i % 7, i) for i in range(20)]
+        out = list(sorter.sort_iter(recs))
+        assert out == sorted(recs)
+        assert stats.blocks_written > 0
+        assert stats.blocks_read > 0
+
+    def test_custom_key(self, tmp_path):
+        sorter, _ = make_sorter(tmp_path, key=lambda r: -r[0])
+        recs = [(1, 0), (3, 0), (2, 0)]
+        assert [r[0] for r in sorter.sort_iter(recs)] == [3, 2, 1]
+
+    def test_duplicates_preserved(self, tmp_path):
+        sorter, _ = make_sorter(tmp_path, memory_records=2)
+        recs = [(5, 5)] * 7
+        assert list(sorter.sort_iter(recs)) == recs
+
+    def test_temp_runs_cleaned_up(self, tmp_path):
+        sorter, _ = make_sorter(tmp_path, memory_records=2, fan_in=2)
+        out = tmp_path / "out.bin"
+        sorter.sort_to_file([(i, 0) for i in range(17)], out)
+        leftovers = list(tmp_path.glob("extsort-*"))
+        assert leftovers == []
+
+    def test_sort_to_file_returns_count(self, tmp_path):
+        sorter, _ = make_sorter(tmp_path, memory_records=3)
+        out = tmp_path / "out.bin"
+        assert sorter.sort_to_file([(i, i) for i in range(11)], out) == 11
+
+
+class TestSortingProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.tuples(st.integers(-50, 50), st.integers(-50, 50)), max_size=60),
+        st.integers(1, 8),
+        st.integers(2, 4),
+    )
+    def test_matches_sorted(self, recs, memory_records, fan_in):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as d:
+            sorter = ExternalSorter(
+                DIRECTED, Path(d), IOStats(block_size=16),
+                memory_records=memory_records, fan_in=fan_in,
+            )
+            assert list(sorter.sort_iter(recs)) == sorted(recs)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=40))
+    def test_stability_of_multiset(self, recs):
+        """External sort must neither drop nor invent records."""
+        import tempfile
+        from collections import Counter
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as d:
+            sorter = ExternalSorter(
+                DIRECTED, Path(d), IOStats(block_size=16), memory_records=3
+            )
+            assert Counter(sorter.sort_iter(recs)) == Counter(recs)

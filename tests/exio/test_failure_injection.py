@@ -1,0 +1,93 @@
+"""Failure injection: corrupted and truncated on-disk state.
+
+A library that owns on-disk formats must fail loudly and precisely on
+damaged input, never by silently mis-parsing.  These tests damage files
+in targeted ways and assert the exact failure surface.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import FormatError
+from repro.exio import ATTR_EDGE, DiskAdjacencyGraph, DiskEdgeFile, IOStats
+from repro.graph import complete_graph
+
+
+class TestTruncatedEdgeFiles:
+    def test_reopen_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "e.bin"
+        DiskEdgeFile.from_records(path, [(1, 2, 3), (4, 5, 6)], IOStats())
+        # chop mid-record
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        with pytest.raises(FormatError):
+            DiskEdgeFile(path, IOStats())
+
+    def test_scan_of_externally_truncated_file_raises(self, tmp_path):
+        path = tmp_path / "e.bin"
+        f = DiskEdgeFile.from_records(path, [(1, 2, 3)] * 4, IOStats())
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 7])
+        with pytest.raises(EOFError):
+            list(f.scan())
+
+    def test_appended_garbage_detected_on_reopen(self, tmp_path):
+        path = tmp_path / "e.bin"
+        DiskEdgeFile.from_records(path, [(1, 2, 3)], IOStats())
+        with open(path, "ab") as fh:
+            fh.write(b"\x01\x02\x03")
+        with pytest.raises(FormatError):
+            DiskEdgeFile(path, IOStats())
+
+
+class TestDamagedAdjacencyFiles:
+    def _build(self, tmp_path):
+        stats = IOStats()
+        return DiskAdjacencyGraph.build_from_graph(
+            complete_graph(6), tmp_path / "g.adj", stats, tmp_path / "w"
+        )
+
+    def test_truncated_neighbor_list_raises(self, tmp_path):
+        dg = self._build(tmp_path)
+        data = dg.path.read_bytes()
+        dg.path.write_bytes(data[:-4])
+        with pytest.raises(EOFError):
+            list(dg.scan())
+
+    def test_negative_degree_detected(self, tmp_path):
+        dg = self._build(tmp_path)
+        data = bytearray(dg.path.read_bytes())
+        # the second header word is vertex 0's degree; make it negative
+        import struct
+
+        struct.pack_into("<q", data, 8, -3)
+        dg.path.write_bytes(bytes(data))
+        with pytest.raises(FormatError):
+            list(dg.scan())
+
+
+class TestRewriteAtomicity:
+    def test_failed_transform_leaves_original_intact(self, tmp_path):
+        path = tmp_path / "e.bin"
+        f = DiskEdgeFile.from_records(
+            path, [(1, 2, 3), (4, 5, 6)], IOStats()
+        )
+
+        def exploding(rec):
+            if rec[0] == 4:
+                raise RuntimeError("boom")
+            return rec
+
+        with pytest.raises(RuntimeError):
+            f.rewrite(exploding)
+        # the original file was never replaced
+        fresh = DiskEdgeFile(path, IOStats())
+        assert list(fresh.scan()) == [(1, 2, 3), (4, 5, 6)]
+
+    def test_temp_rewrite_file_not_left_behind(self, tmp_path):
+        path = tmp_path / "e.bin"
+        f = DiskEdgeFile.from_records(path, [(1, 2, 3)], IOStats())
+        f.rewrite(lambda rec: rec)
+        leftovers = [p for p in tmp_path.iterdir() if "rewrite" in p.name]
+        assert leftovers == []

@@ -1,0 +1,87 @@
+"""Unit tests for repro.exio.iostats."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exio import IOStats
+
+
+class TestBlocksFor:
+    def test_zero_and_negative(self):
+        s = IOStats(block_size=100)
+        assert s.blocks_for(0) == 0
+        assert s.blocks_for(-5) == 0
+
+    def test_partial_block_rounds_up(self):
+        s = IOStats(block_size=100)
+        assert s.blocks_for(1) == 1
+        assert s.blocks_for(100) == 1
+        assert s.blocks_for(101) == 2
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            IOStats(block_size=0)
+
+    @given(st.integers(1, 10**9), st.integers(1, 10**6))
+    def test_ceil_property(self, nbytes, bs):
+        s = IOStats(block_size=bs)
+        b = s.blocks_for(nbytes)
+        assert (b - 1) * bs < nbytes <= b * bs
+
+
+class TestAccounting:
+    def test_read_write_accumulate(self):
+        s = IOStats(block_size=10)
+        s.account_read(25)
+        s.account_write(5)
+        assert s.bytes_read == 25
+        assert s.blocks_read == 3
+        assert s.bytes_written == 5
+        assert s.blocks_written == 1
+        assert s.total_blocks == 4
+        assert s.total_bytes == 30
+
+    def test_scans_and_seeks(self):
+        s = IOStats()
+        s.begin_scan()
+        s.begin_scan()
+        s.account_seek()
+        assert s.scans_started == 2
+        assert s.seeks == 1
+
+    def test_merge(self):
+        a = IOStats(block_size=10)
+        b = IOStats(block_size=10)
+        a.account_read(10)
+        b.account_write(20)
+        b.begin_scan()
+        a.merge(b)
+        assert a.blocks_read == 1
+        assert a.blocks_written == 2
+        assert a.scans_started == 1
+
+    def test_merge_block_size_mismatch(self):
+        with pytest.raises(ValueError):
+            IOStats(block_size=10).merge(IOStats(block_size=20))
+
+    def test_snapshot_and_delta(self):
+        s = IOStats(block_size=10)
+        s.account_read(10)
+        snap = s.snapshot()
+        s.account_read(30)
+        s.account_write(10)
+        d = s.delta_since(snap)
+        assert d.bytes_read == 30
+        assert d.blocks_read == 3
+        assert d.bytes_written == 10
+        # snapshot is independent
+        snap.account_read(100)
+        assert s.bytes_read == 40
+
+    def test_summary_mentions_counts(self):
+        s = IOStats(block_size=10)
+        s.account_read(10)
+        text = s.summary()
+        assert "1 blk read" in text
+        assert "B=10" in text

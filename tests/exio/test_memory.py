@@ -1,0 +1,56 @@
+"""Unit tests for repro.exio.memory.MemoryBudget."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MemoryBudgetError
+from repro.exio import UNBOUNDED, MemoryBudget
+from repro.graph import complete_graph
+
+
+class TestBudget:
+    def test_too_small_rejected(self):
+        with pytest.raises(MemoryBudgetError):
+            MemoryBudget(units=3)
+
+    def test_fits(self):
+        b = MemoryBudget(units=20)
+        assert b.fits(20)
+        assert not b.fits(21)
+
+    def test_fits_graph(self):
+        g = complete_graph(4)  # size = 4 + 6 = 10
+        assert MemoryBudget(units=10).fits_graph(g)
+        assert not MemoryBudget(units=9).fits_graph(g)
+
+    def test_num_partitions_matches_paper_formula(self):
+        b = MemoryBudget(units=10)
+        # p >= 2|G|/M
+        assert b.num_partitions(5) == 1
+        assert b.num_partitions(10) == 2
+        assert b.num_partitions(11) == 3
+        assert b.num_partitions(0) == 1
+
+    def test_partition_capacity_is_half_m(self):
+        assert MemoryBudget(units=10).partition_capacity() == 5
+        assert MemoryBudget(units=5).partition_capacity() == 2
+
+    def test_require_fits(self):
+        b = MemoryBudget(units=10)
+        b.require_fits(10, "thing")
+        with pytest.raises(MemoryBudgetError):
+            b.require_fits(11, "thing")
+
+    def test_unbounded_fits_everything(self):
+        assert UNBOUNDED.fits(10**15)
+        assert UNBOUNDED.num_partitions(10**12) == 1
+
+    @given(st.integers(4, 10**6), st.integers(0, 10**7))
+    def test_partition_count_sufficient(self, m_units, g_size):
+        """p partitions of capacity M/2 can hold the whole graph."""
+        b = MemoryBudget(units=m_units)
+        p = b.num_partitions(g_size)
+        assert p * b.units >= 2 * g_size or p == 1 and g_size == 0 or (
+            p * b.partition_capacity() * 2 + 2 * p >= g_size
+        )

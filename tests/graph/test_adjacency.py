@@ -1,0 +1,190 @@
+"""Unit tests for repro.graph.adjacency.Graph."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
+from repro.graph import Graph, complete_graph
+
+from conftest import small_edge_lists
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.size == 0
+        assert list(g.edges()) == []
+
+    def test_from_edge_iterable(self):
+        g = Graph([(1, 2), (2, 3)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_add_edge_normalizes_orientation(self):
+        g = Graph()
+        g.add_edge(5, 2)
+        assert g.has_edge(2, 5)
+        assert g.has_edge(5, 2)
+        assert list(g.edges()) == [(2, 5)]
+
+    def test_add_edge_returns_true_only_when_new(self):
+        g = Graph()
+        assert g.add_edge(1, 2) is True
+        assert g.add_edge(2, 1) is False
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge(3, 3)
+
+    def test_add_vertex_is_idempotent(self):
+        g = Graph()
+        g.add_vertex(7)
+        g.add_vertex(7)
+        assert g.num_vertices == 1
+        assert g.degree(7) == 0
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = Graph([(1, 2), (2, 3)])
+        g.remove_edge(2, 1)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 1
+        # endpoints survive as (possibly isolated) vertices
+        assert g.has_vertex(1)
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph([(1, 2)])
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(1, 3)
+
+    def test_discard_edge(self):
+        g = Graph([(1, 2)])
+        assert g.discard_edge(1, 2) is True
+        assert g.discard_edge(1, 2) is False
+
+    def test_remove_vertex_removes_incident_edges(self):
+        g = Graph([(1, 2), (1, 3), (2, 3)])
+        g.remove_vertex(1)
+        assert g.num_edges == 1
+        assert not g.has_vertex(1)
+        assert g.has_edge(2, 3)
+
+    def test_remove_missing_vertex_raises(self):
+        g = Graph()
+        with pytest.raises(VertexNotFoundError):
+            g.remove_vertex(9)
+
+    def test_drop_isolated_vertices(self):
+        g = Graph([(1, 2)])
+        g.add_vertex(5)
+        g.add_vertex(6)
+        assert g.drop_isolated_vertices() == 2
+        assert sorted(g.vertices()) == [1, 2]
+
+
+class TestQueries:
+    def test_neighbors_and_degree(self):
+        g = Graph([(1, 2), (1, 3), (1, 4)])
+        assert g.neighbors(1) == {2, 3, 4}
+        assert g.degree(1) == 3
+        assert g.degree(2) == 1
+
+    def test_neighbors_of_missing_vertex_raises(self):
+        g = Graph()
+        with pytest.raises(VertexNotFoundError):
+            g.neighbors(0)
+
+    def test_common_neighbors(self):
+        g = complete_graph(4)
+        assert g.common_neighbors(0, 1) == {2, 3}
+
+    def test_common_neighbors_disjoint(self):
+        g = Graph([(0, 1), (2, 3)])
+        assert g.common_neighbors(0, 3) == set()
+
+    def test_size_is_n_plus_m(self):
+        g = complete_graph(5)
+        assert g.size == 5 + 10
+
+    def test_sorted_edges_deterministic(self):
+        g = Graph([(3, 1), (2, 0), (1, 0)])
+        assert g.sorted_edges() == [(0, 1), (0, 2), (1, 3)]
+
+    def test_max_degree(self):
+        assert Graph().max_degree() == 0
+        assert complete_graph(6).max_degree() == 5
+
+    def test_degree_sequence_sums_to_2m(self):
+        g = complete_graph(5)
+        assert sum(g.degree_sequence()) == 2 * g.num_edges
+
+    def test_contains_and_iter(self):
+        g = Graph([(1, 2)])
+        assert 1 in g
+        assert 9 not in g
+        assert sorted(g) == [1, 2]
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = Graph([(1, 2), (2, 3)])
+        h = g.copy()
+        h.remove_edge(1, 2)
+        assert g.has_edge(1, 2)
+        assert not h.has_edge(1, 2)
+
+    def test_equality(self):
+        assert Graph([(1, 2)]) == Graph([(2, 1)])
+        assert Graph([(1, 2)]) != Graph([(1, 3)])
+
+    def test_subgraph_induced(self):
+        g = complete_graph(5)
+        h = g.subgraph([0, 1, 2])
+        assert h.num_vertices == 3
+        assert h.num_edges == 3
+
+    def test_subgraph_ignores_missing_vertices(self):
+        g = Graph([(0, 1)])
+        h = g.subgraph([0, 1, 99])
+        assert h.num_vertices == 2
+
+    def test_edge_subgraph(self):
+        g = complete_graph(4)
+        h = g.edge_subgraph([(0, 1), (1, 2)])
+        assert h.num_edges == 2
+        assert h.num_vertices == 3
+
+    def test_edge_subgraph_rejects_foreign_edges(self):
+        g = Graph([(0, 1)])
+        with pytest.raises(EdgeNotFoundError):
+            g.edge_subgraph([(0, 2)])
+
+    def test_repr_mentions_sizes(self):
+        assert "n=3" in repr(complete_graph(3))
+
+
+class TestProperties:
+    @given(small_edge_lists())
+    def test_edges_roundtrip(self, edges):
+        g = Graph(edges)
+        assert set(g.edges()) == set(edges)
+        assert g.num_edges == len(edges)
+
+    @given(small_edge_lists())
+    def test_degree_handshake(self, edges):
+        g = Graph(edges)
+        assert sum(g.degree(v) for v in g.vertices()) == 2 * g.num_edges
+
+    @given(small_edge_lists())
+    def test_remove_all_edges_leaves_vertices(self, edges):
+        g = Graph(edges)
+        n = g.num_vertices
+        for u, v in list(g.edges()):
+            g.remove_edge(u, v)
+        assert g.num_edges == 0
+        assert g.num_vertices == n

@@ -1,0 +1,100 @@
+"""Unit tests for repro.graph.builders."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    from_edges,
+    from_edges_cleaned,
+    path_graph,
+    relabel_compact,
+    star_graph,
+)
+
+
+class TestBasicBuilders:
+    def test_from_edges(self):
+        g = from_edges([(1, 2), (2, 3)])
+        assert g.num_edges == 2
+
+    def test_complete_graph_counts(self):
+        g = complete_graph(6)
+        assert g.num_vertices == 6
+        assert g.num_edges == 15
+
+    def test_complete_graph_offset(self):
+        g = complete_graph(3, offset=10)
+        assert sorted(g.vertices()) == [10, 11, 12]
+
+    def test_complete_graph_trivial_sizes(self):
+        assert complete_graph(0).num_vertices == 0
+        assert complete_graph(1).num_edges == 0
+        with pytest.raises(GraphError):
+            complete_graph(-1)
+
+    def test_cycle_graph(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert all(g.degree(v) == 2 for v in g.vertices())
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_path_graph(self):
+        g = path_graph(4)
+        assert g.num_edges == 3
+        assert path_graph(1).num_vertices == 1
+        with pytest.raises(GraphError):
+            path_graph(0)
+
+    def test_star_graph(self):
+        g = star_graph(5)
+        assert g.degree(0) == 5
+        assert g.num_edges == 5
+        with pytest.raises(GraphError):
+            star_graph(-2)
+
+
+class TestCleaning:
+    def test_drops_self_loops_and_duplicates(self):
+        g, report = from_edges_cleaned([(1, 1), (1, 2), (2, 1), (2, 3)])
+        assert g.num_edges == 2
+        assert report.num_self_loops == 1
+        assert report.num_duplicates == 1
+        assert report.num_input_pairs == 4
+        assert report.num_edges == 2
+
+    def test_clean_input_reports_zero(self):
+        _g, report = from_edges_cleaned([(0, 1), (1, 2)])
+        assert report.num_self_loops == 0
+        assert report.num_duplicates == 0
+
+
+class TestDisjointUnionAndRelabel:
+    def test_disjoint_union_no_collisions(self):
+        g = disjoint_union([complete_graph(3), complete_graph(4)])
+        assert g.num_vertices == 7
+        assert g.num_edges == 3 + 6
+
+    def test_disjoint_union_skips_empty(self):
+        g = disjoint_union([Graph(), complete_graph(3)])
+        assert g.num_vertices == 3
+
+    def test_relabel_compact(self):
+        g = Graph([(100, 50), (50, 7)])
+        h, labels = relabel_compact(g)
+        assert sorted(h.vertices()) == [0, 1, 2]
+        assert labels == [7, 50, 100]
+        assert h.has_edge(0, 1)  # 7-50
+        assert h.has_edge(1, 2)  # 50-100
+
+    @given(st.lists(st.integers(2, 6), min_size=1, max_size=4))
+    def test_union_preserves_component_sizes(self, sizes):
+        g = disjoint_union([complete_graph(s) for s in sizes])
+        assert g.num_vertices == sum(sizes)
+        assert g.num_edges == sum(s * (s - 1) // 2 for s in sizes)

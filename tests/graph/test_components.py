@@ -1,0 +1,70 @@
+"""Tests for connected components."""
+
+from hypothesis import given, settings
+
+from repro.graph import (
+    Graph,
+    complete_graph,
+    connected_components,
+    cycle_graph,
+    disjoint_union,
+    largest_component,
+    num_connected_components,
+)
+
+from conftest import small_edge_lists
+
+
+class TestConnectedComponents:
+    def test_empty(self):
+        assert connected_components(Graph()) == []
+        assert num_connected_components(Graph()) == 0
+
+    def test_single_component(self):
+        assert num_connected_components(complete_graph(5)) == 1
+
+    def test_multiple_components_largest_first(self):
+        g = disjoint_union([cycle_graph(3), complete_graph(5)])
+        comps = connected_components(g)
+        assert len(comps) == 2
+        assert len(comps[0]) == 5
+
+    def test_isolated_vertices_are_singletons(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(7)
+        g.add_vertex(8)
+        comps = connected_components(g)
+        assert {7} in comps and {8} in comps
+
+    def test_largest_component(self):
+        g = disjoint_union([complete_graph(4), complete_graph(3)])
+        lc = largest_component(g)
+        assert lc.num_vertices == 4
+        assert lc.num_edges == 6
+
+    def test_largest_component_empty(self):
+        assert largest_component(Graph()).num_vertices == 0
+
+    @settings(max_examples=40)
+    @given(small_edge_lists())
+    def test_partition_property(self, edges):
+        g = Graph(edges)
+        comps = connected_components(g)
+        all_vertices = [v for c in comps for v in c]
+        assert sorted(all_vertices) == g.sorted_vertices()
+        # no edge crosses components
+        index = {v: i for i, c in enumerate(comps) for v in c}
+        for u, v in g.edges():
+            assert index[u] == index[v]
+
+    @settings(max_examples=25)
+    @given(small_edge_lists())
+    def test_matches_networkx(self, edges):
+        import networkx as nx
+
+        g = Graph(edges)
+        ng = nx.Graph(list(g.edges()))
+        ng.add_nodes_from(g.vertices())
+        ours = {frozenset(c) for c in connected_components(g)}
+        theirs = {frozenset(c) for c in nx.connected_components(ng)}
+        assert ours == theirs

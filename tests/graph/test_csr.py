@@ -1,0 +1,81 @@
+"""Unit tests for repro.graph.csr.CSRGraph."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import VertexNotFoundError
+from repro.graph import CSRGraph, Graph, complete_graph
+
+from conftest import small_edge_lists
+
+
+class TestCSRConstruction:
+    def test_empty(self):
+        c = CSRGraph.from_graph(Graph())
+        assert c.num_vertices == 0
+        assert c.num_edges == 0
+
+    def test_counts_match(self):
+        g = complete_graph(5)
+        c = CSRGraph.from_graph(g)
+        assert c.num_vertices == 5
+        assert c.num_edges == 10
+
+    def test_labels_ascend(self):
+        g = Graph([(10, 3), (7, 3)])
+        c = CSRGraph.from_graph(g)
+        assert c.labels == [3, 7, 10]
+
+    def test_compact_roundtrip(self):
+        g = Graph([(10, 3), (7, 3)])
+        c = CSRGraph.from_graph(g)
+        for v in g.vertices():
+            assert c.original_id(c.compact_id(v)) == v
+
+    def test_compact_id_missing_raises(self):
+        c = CSRGraph.from_graph(Graph([(0, 1)]))
+        with pytest.raises(VertexNotFoundError):
+            c.compact_id(42)
+
+
+class TestCSRQueries:
+    def test_neighbors_sorted(self):
+        g = Graph([(0, 5), (0, 2), (0, 9)])
+        c = CSRGraph.from_graph(g)
+        i = c.compact_id(0)
+        nbrs = [c.original_id(j) for j in c.neighbors(i)]
+        assert nbrs == [2, 5, 9]
+
+    def test_degrees_match_graph(self):
+        g = Graph([(0, 1), (0, 2), (1, 2), (2, 3)])
+        c = CSRGraph.from_graph(g)
+        for v in g.vertices():
+            assert c.degree(c.compact_id(v)) == g.degree(v)
+
+    def test_edges_original_roundtrip(self):
+        g = Graph([(4, 1), (2, 8), (1, 2)])
+        c = CSRGraph.from_graph(g)
+        assert set(c.edges_original()) == set(g.edges())
+
+    def test_edges_compact_each_once(self):
+        g = complete_graph(4)
+        c = CSRGraph.from_graph(g)
+        compact = list(c.edges_compact())
+        assert len(compact) == 6
+        assert len(set(compact)) == 6
+        assert all(i < j for i, j in compact)
+
+    def test_degree_order_ascending(self):
+        g = Graph([(0, 1), (0, 2), (0, 3), (1, 2)])  # deg: 0->3,1->2,2->2,3->1
+        c = CSRGraph.from_graph(g)
+        order = c.degree_order()
+        degs = [c.degree(i) for i in order]
+        assert degs == sorted(degs)
+
+    @given(small_edge_lists())
+    def test_structure_preserved(self, edges):
+        g = Graph(edges)
+        c = CSRGraph.from_graph(g)
+        assert set(c.edges_original()) == set(g.edges())
+        assert c.num_vertices == g.num_vertices
+        assert c.num_edges == g.num_edges

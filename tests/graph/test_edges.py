@@ -1,0 +1,88 @@
+"""Unit tests for repro.graph.edges."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EdgeNotFoundError, GraphError
+from repro.graph import EdgeTable, dedup_edges, norm_edge, norm_edges
+
+
+class TestNormEdge:
+    def test_orders_endpoints(self):
+        assert norm_edge(5, 2) == (2, 5)
+        assert norm_edge(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            norm_edge(4, 4)
+
+    def test_negative_ids_allowed(self):
+        assert norm_edge(3, -1) == (-1, 3)
+
+    @given(st.integers(), st.integers())
+    def test_canonical_and_symmetric(self, u, v):
+        if u == v:
+            with pytest.raises(GraphError):
+                norm_edge(u, v)
+        else:
+            assert norm_edge(u, v) == norm_edge(v, u)
+            lo, hi = norm_edge(u, v)
+            assert lo < hi
+
+
+class TestDedup:
+    def test_removes_duplicates_and_sorts(self):
+        assert dedup_edges([(2, 1), (1, 2), (0, 3)]) == [(0, 3), (1, 2)]
+
+    def test_norm_edges_streams(self):
+        assert list(norm_edges([(9, 1), (2, 4)])) == [(1, 9), (2, 4)]
+
+    def test_empty(self):
+        assert dedup_edges([]) == []
+
+
+class TestEdgeTable:
+    def test_dense_ids_in_insert_order(self):
+        t = EdgeTable()
+        assert t.add(3, 1) == 0
+        assert t.add(2, 5) == 1
+        assert t.add(1, 3) == 0  # duplicate (normalized)
+        assert len(t) == 2
+
+    def test_id_of_and_edge_of_roundtrip(self):
+        t = EdgeTable([(1, 2), (3, 4)])
+        for eid in range(len(t)):
+            u, v = t.edge_of(eid)
+            assert t.id_of(u, v) == eid
+            assert t.id_of(v, u) == eid
+
+    def test_id_of_missing_raises(self):
+        t = EdgeTable()
+        with pytest.raises(EdgeNotFoundError):
+            t.id_of(1, 2)
+
+    def test_get_with_default(self):
+        t = EdgeTable([(1, 2)])
+        assert t.get(1, 2) == 0
+        assert t.get(7, 8) == -1
+        assert t.get(7, 8, default=99) == 99
+
+    def test_contains_checks_normalized(self):
+        t = EdgeTable([(1, 2)])
+        assert (2, 1) in t
+        assert (1, 3) not in t
+
+    def test_iteration_yields_canonical_edges(self):
+        t = EdgeTable([(5, 2), (1, 9)])
+        assert list(t) == [(2, 5), (1, 9)]
+        assert t.edges == ((2, 5), (1, 9))
+
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30))))
+    def test_ids_are_dense_and_stable(self, pairs):
+        pairs = [(u, v) for u, v in pairs if u != v]
+        t = EdgeTable()
+        first_ids = [t.add(u, v) for u, v in pairs]
+        second_ids = [t.add(u, v) for u, v in pairs]
+        assert first_ids == second_ids
+        assert sorted(set(first_ids)) == list(range(len(t)))

@@ -1,0 +1,116 @@
+"""Unit tests for repro.graph.io serialization round-trips."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import FormatError
+from repro.graph import (
+    Graph,
+    complete_graph,
+    read_adjacency_list,
+    read_binary_edges,
+    read_edge_list,
+    write_adjacency_list,
+    write_binary_edges,
+    write_edge_list,
+)
+
+from conftest import small_edge_lists
+
+
+class TestEdgeListText:
+    def test_roundtrip(self, tmp_path):
+        g = complete_graph(4)
+        p = tmp_path / "g.txt"
+        write_edge_list(g, p)
+        h = read_edge_list(p)
+        assert set(h.edges()) == set(g.edges())
+
+    def test_header_and_comments_skipped(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# comment\n\n1 2\n# another\n2 3\n")
+        g = read_edge_list(p)
+        assert g.num_edges == 2
+
+    def test_malformed_line_raises(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("1\n")
+        with pytest.raises(FormatError):
+            read_edge_list(p)
+
+    def test_non_integer_raises(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("a b\n")
+        with pytest.raises(FormatError):
+            read_edge_list(p)
+
+    def test_duplicate_edges_cleaned(self, tmp_path):
+        p = tmp_path / "dup.txt"
+        p.write_text("1 2\n2 1\n1 1\n")
+        g = read_edge_list(p)
+        assert g.num_edges == 1
+
+
+class TestAdjacencyListText:
+    def test_roundtrip(self, tmp_path):
+        g = Graph([(0, 1), (1, 2)])
+        g.add_vertex(9)  # isolated vertices must survive
+        p = tmp_path / "g.adj"
+        write_adjacency_list(g, p)
+        h = read_adjacency_list(p)
+        assert set(h.edges()) == set(g.edges())
+        assert h.has_vertex(9)
+
+    def test_missing_colon_raises(self, tmp_path):
+        p = tmp_path / "bad.adj"
+        p.write_text("1 2 3\n")
+        with pytest.raises(FormatError):
+            read_adjacency_list(p)
+
+    def test_non_integer_raises(self, tmp_path):
+        p = tmp_path / "bad.adj"
+        p.write_text("1: x\n")
+        with pytest.raises(FormatError):
+            read_adjacency_list(p)
+
+
+class TestBinaryEdges:
+    def test_roundtrip(self, tmp_path):
+        g = complete_graph(5)
+        p = tmp_path / "g.bin"
+        n = write_binary_edges(g.sorted_edges(), p)
+        assert n == 10
+        h = read_binary_edges(p)
+        assert set(h.edges()) == set(g.edges())
+
+    def test_truncated_file_raises(self, tmp_path):
+        p = tmp_path / "bad.bin"
+        p.write_bytes(b"\x01\x02\x03")
+        with pytest.raises(FormatError):
+            read_binary_edges(p)
+
+    def test_negative_and_large_ids(self, tmp_path):
+        p = tmp_path / "g.bin"
+        edges = [(-5, 3), (2**40, 2**41)]
+        write_binary_edges(edges, p)
+        h = read_binary_edges(p)
+        assert set(h.edges()) == {(-5, 3), (2**40, 2**41)}
+
+
+class TestPropertyRoundtrips:
+    @settings(max_examples=25)
+    @given(small_edge_lists())
+    def test_all_formats_agree(self, tmp_path_factory_edges):
+        edges = tmp_path_factory_edges
+        import tempfile
+        from pathlib import Path
+
+        g = Graph(edges)
+        with tempfile.TemporaryDirectory() as d:
+            d = Path(d)
+            write_edge_list(g, d / "a.txt")
+            write_adjacency_list(g, d / "a.adj")
+            write_binary_edges(g.sorted_edges(), d / "a.bin")
+            assert set(read_edge_list(d / "a.txt").edges()) == set(g.edges())
+            assert set(read_adjacency_list(d / "a.adj").edges()) == set(g.edges())
+            assert set(read_binary_edges(d / "a.bin").edges()) == set(g.edges())

@@ -1,0 +1,79 @@
+"""Stateful model-based testing of the Graph class.
+
+Hypothesis drives random sequences of mutations against both the real
+Graph and a trivially-correct model (a set of canonical edges plus a
+vertex set); every invariant is checked after every step.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.graph import Graph
+
+VERTS = st.integers(min_value=0, max_value=15)
+
+
+class GraphMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.graph = Graph()
+        self.model_edges = set()
+        self.model_vertices = set()
+
+    @rule(u=VERTS, v=VERTS)
+    def add_edge(self, u, v):
+        if u == v:
+            return
+        self.graph.add_edge(u, v)
+        self.model_edges.add((min(u, v), max(u, v)))
+        self.model_vertices |= {u, v}
+
+    @rule(v=VERTS)
+    def add_vertex(self, v):
+        self.graph.add_vertex(v)
+        self.model_vertices.add(v)
+
+    @rule(u=VERTS, v=VERTS)
+    def discard_edge(self, u, v):
+        if u == v:
+            return
+        existed = self.graph.discard_edge(u, v)
+        key = (min(u, v), max(u, v))
+        assert existed == (key in self.model_edges)
+        self.model_edges.discard(key)
+
+    @rule(v=VERTS)
+    def remove_vertex_if_present(self, v):
+        if v in self.model_vertices:
+            self.graph.remove_vertex(v)
+            self.model_vertices.discard(v)
+            self.model_edges = {
+                e for e in self.model_edges if v not in e
+            }
+
+    @invariant()
+    def edges_match_model(self):
+        assert set(self.graph.edges()) == self.model_edges
+
+    @invariant()
+    def vertices_match_model(self):
+        assert set(self.graph.vertices()) == self.model_vertices
+
+    @invariant()
+    def counts_consistent(self):
+        assert self.graph.num_edges == len(self.model_edges)
+        assert self.graph.num_vertices == len(self.model_vertices)
+        assert self.graph.size == len(self.model_edges) + len(self.model_vertices)
+
+    @invariant()
+    def degrees_consistent(self):
+        for v in self.model_vertices:
+            expected = sum(1 for e in self.model_edges if v in e)
+            assert self.graph.degree(v) == expected
+
+
+TestGraphMachine = GraphMachine.TestCase
+TestGraphMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,84 @@
+"""Unit tests for repro.graph.views (neighborhood subgraphs, Definition 4)."""
+
+from hypothesis import given
+
+from repro.graph import (
+    Graph,
+    complete_graph,
+    neighborhood_subgraph,
+    neighborhood_subgraph_from_edges,
+    union_edge_subgraph,
+)
+
+from conftest import small_edge_lists
+from oracles import brute_support
+
+
+class TestNeighborhoodSubgraph:
+    def test_contains_all_incident_edges(self):
+        g = Graph([(0, 1), (1, 2), (2, 3), (3, 4)])
+        ns = neighborhood_subgraph(g, [1, 2])
+        assert set(ns.graph.edges()) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_internal_vs_external_edges(self):
+        g = Graph([(0, 1), (1, 2), (2, 3)])
+        ns = neighborhood_subgraph(g, [1, 2])
+        assert set(ns.internal_edges()) == {(1, 2)}
+        assert set(ns.external_edges()) == {(0, 1), (2, 3)}
+
+    def test_internal_vertex_queries(self):
+        g = Graph([(0, 1), (1, 2)])
+        ns = neighborhood_subgraph(g, [1])
+        assert ns.is_internal_vertex(1)
+        assert not ns.is_internal_vertex(0)
+        assert not ns.is_internal_edge(0, 1)
+
+    def test_missing_internal_vertices_ignored(self):
+        g = Graph([(0, 1)])
+        ns = neighborhood_subgraph(g, [0, 77])
+        assert ns.internal_vertices == frozenset({0})
+
+    def test_size_matches_definition(self):
+        g = complete_graph(4)
+        ns = neighborhood_subgraph(g, [0])
+        # NS({0}) has all 4 vertices but only 0's incident edges
+        assert ns.graph.num_vertices == 4
+        assert ns.graph.num_edges == 3
+        assert ns.size == 7
+
+    def test_from_edge_stream_matches_in_memory(self):
+        g = Graph([(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)])
+        a = neighborhood_subgraph(g, [1, 3])
+        b = neighborhood_subgraph_from_edges(g.edges(), [1, 3])
+        assert set(a.graph.edges()) == set(b.graph.edges())
+        assert a.internal_vertices == b.internal_vertices
+
+    @given(small_edge_lists())
+    def test_internal_edge_support_is_globally_exact(self, edges):
+        """The load-bearing property: local support == global support for
+        internal edges (this is what makes Algorithm 3 correct)."""
+        g = Graph(edges)
+        vs = sorted(g.vertices())
+        if not vs:
+            return
+        internal = vs[: max(1, len(vs) // 2)]
+        ns = neighborhood_subgraph(g, internal)
+        for u, v in ns.internal_edges():
+            assert brute_support(ns.graph, u, v) == brute_support(g, u, v)
+
+    @given(small_edge_lists())
+    def test_ns_of_all_vertices_is_g(self, edges):
+        g = Graph(edges)
+        ns = neighborhood_subgraph(g, g.vertices())
+        assert set(ns.graph.edges()) == set(g.edges())
+        assert set(ns.internal_edges()) == set(g.edges())
+
+
+class TestUnionEdgeSubgraph:
+    def test_union_of_classes(self):
+        g = union_edge_subgraph([[(0, 1), (1, 2)], [(2, 3)], []])
+        assert set(g.edges()) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_duplicates_collapse(self):
+        g = union_edge_subgraph([[(0, 1)], [(1, 0)]])
+        assert g.num_edges == 1

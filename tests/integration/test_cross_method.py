@@ -1,0 +1,104 @@
+"""Cross-method integration tests: all five implementations, one truth.
+
+DESIGN.md §5 pins the contract: every method produces the identical
+trussness map, on every graph family, under every memory budget and
+partitioner.  These tests sweep that matrix on mid-sized inputs.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import truss_decomposition
+from repro.cores import core_numbers
+from repro.datasets import (
+    collaboration_graph,
+    community_graph,
+    erdos_renyi,
+    load_dataset,
+    manager_graph,
+    powerlaw_graph,
+    running_example_graph,
+    star_heavy_graph,
+)
+from repro.exio import MemoryBudget
+from repro.graph import Graph
+
+from conftest import random_graph, small_edge_lists
+
+FAMILIES = {
+    "er": lambda: erdos_renyi(60, 180, seed=71),
+    "powerlaw": lambda: powerlaw_graph(80, 200, seed=72),
+    "collab": lambda: collaboration_graph(60, 50, seed=73, max_team=10),
+    "community": lambda: community_graph(70, 40, seed=74),
+    "stars": lambda: star_heavy_graph(80, 150, n_hubs=4, seed=75),
+    "manager": manager_graph,
+    "running": running_example_graph,
+}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES), ids=str)
+class TestAllMethodsAgree:
+    def test_five_way_agreement(self, family):
+        g = FAMILIES[family]()
+        ref = truss_decomposition(g, method="improved")
+        assert truss_decomposition(g, method="baseline") == ref
+        assert truss_decomposition(g, method="mapreduce") == ref
+        for units in (24, 200):
+            budget = MemoryBudget(units=units)
+            assert (
+                truss_decomposition(g, method="bottomup", memory_budget=budget)
+                == ref
+            ), f"bottomup units={units}"
+            assert (
+                truss_decomposition(g, method="topdown", memory_budget=budget)
+                == ref
+            ), f"topdown units={units}"
+
+
+class TestInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(small_edge_lists())
+    def test_truss_core_sandwich(self, edges):
+        """k-truss ⊆ (k-1)-core and kmax <= cmax + 1."""
+        g = Graph(edges)
+        if g.num_edges == 0:
+            return
+        td = truss_decomposition(g)
+        core = core_numbers(g)
+        for (u, v), k in td.trussness.items():
+            assert core[u] >= k - 1
+            assert core[v] >= k - 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_edge_lists())
+    def test_classes_partition_edges(self, edges):
+        g = Graph(edges)
+        td = truss_decomposition(g)
+        seen = set()
+        for k, cls in td.k_classes().items():
+            for e in cls:
+                assert e not in seen
+                seen.add(e)
+        assert seen == set(g.edges())
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_edge_lists())
+    def test_verify_accepts_all_methods(self, edges):
+        g = Graph(edges)
+        for method in ("improved", "bottomup"):
+            truss_decomposition(
+                g,
+                method=method,
+                memory_budget=MemoryBudget(units=12) if method == "bottomup" else None,
+            ).verify(g)
+
+    def test_dataset_smoke(self):
+        """A scaled-down registry dataset through three methods."""
+        g = load_dataset("p2p", scale=0.03)
+        ref = truss_decomposition(g)
+        assert truss_decomposition(
+            g, method="bottomup", memory_budget=MemoryBudget(units=g.size // 3)
+        ) == ref
+        assert truss_decomposition(
+            g, method="topdown", memory_budget=MemoryBudget(units=g.size // 3)
+        ) == ref

@@ -1,0 +1,20 @@
+"""Run the doctest examples embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.decomposition
+import repro.graph.adjacency
+
+MODULES = [
+    repro.graph.adjacency,
+    repro.core.decomposition,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0

@@ -1,0 +1,63 @@
+"""Smoke tests: every shipped example runs end-to-end (small scales)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(script: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "kmax = 4" in out
+        assert "Phi_5 (10 edges)" in out
+        assert "(paper: 0.80)" in out
+
+    def test_community_cores(self):
+        out = run_example(
+            "community_cores.py", "--n", "400", "--m", "1200",
+            "--clique", "10", "--biclique", "12",
+        )
+        assert "kmax-truss" in out
+        assert "100.0%" in out
+
+    def test_external_memory_demo(self):
+        out = run_example("external_memory_demo.py", "--dataset", "p2p", "--scale", "0.05")
+        assert "M = |G|/8" in out
+        assert "identical decomposition" in out
+
+    def test_top_down_backbone(self):
+        out = run_example("top_down_backbone.py", "--dataset", "web", "--scale", "0.04", "--t", "3")
+        assert "TD-topdown" in out
+        assert "innermost community" in out
+
+    def test_mapreduce_demo(self):
+        out = run_example("mapreduce_demo.py", "--dataset", "p2p", "--scale", "0.05")
+        assert "TD-MR" in out
+        assert "MR rounds" in out
+
+    def test_clique_search(self):
+        out = run_example(
+            "clique_search.py", "--n", "400", "--m", "1200", "--clique", "8"
+        )
+        assert "truss filter" in out.replace("8-truss", "truss")
+        assert "maximum clique (8 vertices)" in out
+
+    def test_fingerprint_networks(self):
+        out = run_example("fingerprint_networks.py", "--scale", "0.04")
+        assert "=== p2p" in out
+        assert "fingerprint" in out

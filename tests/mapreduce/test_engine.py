@@ -1,0 +1,77 @@
+"""Unit tests for the local MapReduce runtime."""
+
+import pytest
+
+from repro.mapreduce import LocalMRRuntime, MapReduceJob
+
+
+def word_count_job():
+    def mapper(_key, line):
+        for word in line.split():
+            yield (word, 1)
+
+    def reducer(word, counts):
+        yield (word, sum(counts))
+
+    return MapReduceJob("wordcount", mapper, reducer)
+
+
+class TestRuntime:
+    def test_word_count(self):
+        rt = LocalMRRuntime(num_reducers=3)
+        out = rt.run(word_count_job(), [(None, "a b a"), (None, "b a")])
+        assert dict(out) == {"a": 3, "b": 2}
+
+    def test_counters(self):
+        rt = LocalMRRuntime(num_reducers=2)
+        rt.run(word_count_job(), [(None, "x y x")])
+        c = rt.counters
+        assert c.rounds == 1
+        assert c.map_records == 3
+        assert c.shuffle_records == 3
+        assert c.reduce_groups == 2
+        assert c.reduce_records == 2
+        assert c.shuffle_bytes > 0
+
+    def test_combiner_shrinks_shuffle(self):
+        def combiner(word, counts):
+            yield (word, sum(counts))
+
+        job = word_count_job()
+        with_comb = MapReduceJob("wc", job.mapper, job.reducer, combiner)
+        a, b = LocalMRRuntime(), LocalMRRuntime()
+        data = [(None, "z z z z z")]
+        assert a.run(job, data) == b.run(with_comb, data)
+        assert b.counters.shuffle_records < a.counters.shuffle_records
+
+    def test_chain(self):
+        def inc_mapper(k, v):
+            yield (k, v + 1)
+
+        def identity_reducer(k, vs):
+            for v in vs:
+                yield (k, v)
+
+        inc = MapReduceJob("inc", inc_mapper, identity_reducer)
+        rt = LocalMRRuntime()
+        out = rt.chain([inc, inc, inc], [("a", 0)])
+        assert out == [("a", 3)]
+        assert rt.counters.rounds == 3
+
+    def test_deterministic_output_order(self):
+        rt1, rt2 = LocalMRRuntime(num_reducers=4), LocalMRRuntime(num_reducers=4)
+        data = [(None, "q w e r t y u i o p")]
+        assert rt1.run(word_count_job(), data) == rt2.run(word_count_job(), data)
+
+    def test_rejects_zero_reducers(self):
+        with pytest.raises(ValueError):
+            LocalMRRuntime(num_reducers=0)
+
+    def test_counter_snapshot_delta(self):
+        rt = LocalMRRuntime()
+        rt.run(word_count_job(), [(None, "a")])
+        snap = rt.counters.snapshot()
+        rt.run(word_count_job(), [(None, "b c")])
+        d = rt.counters.delta_since(snap)
+        assert d.rounds == 1
+        assert d.map_records == 2

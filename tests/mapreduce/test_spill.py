@@ -1,0 +1,61 @@
+"""Tests for the spilling (Hadoop-materialization) MR mode."""
+
+import pytest
+
+from repro.core import truss_decomposition_improved, truss_decomposition_mapreduce
+from repro.exio import IOStats
+from repro.mapreduce import LocalMRRuntime, MapReduceJob
+
+from conftest import random_graph
+
+
+def word_count():
+    def mapper(_k, line):
+        for w in line.split():
+            yield (w, 1)
+
+    def reducer(w, counts):
+        yield (w, sum(counts))
+
+    return MapReduceJob("wc", mapper, reducer)
+
+
+class TestSpillingRuntime:
+    def test_same_output_as_in_memory(self, tmp_path):
+        data = [(None, "a b a c"), (None, "c a")]
+        plain = LocalMRRuntime(num_reducers=3)
+        spilled = LocalMRRuntime(
+            num_reducers=3, spill_dir=tmp_path, io_stats=IOStats()
+        )
+        assert plain.run(word_count(), data) == spilled.run(word_count(), data)
+
+    def test_io_accounted(self, tmp_path):
+        stats = IOStats(block_size=64)
+        rt = LocalMRRuntime(num_reducers=2, spill_dir=tmp_path, io_stats=stats)
+        rt.run(word_count(), [(None, "x y z " * 50)])
+        assert stats.blocks_written > 0
+        assert stats.blocks_read > 0
+        # materialization reads back what it wrote
+        assert stats.bytes_read == stats.bytes_written
+
+    def test_spill_files_cleaned_up(self, tmp_path):
+        rt = LocalMRRuntime(num_reducers=2, spill_dir=tmp_path, io_stats=IOStats())
+        rt.run(word_count(), [(None, "p q")])
+        assert list(tmp_path.glob("mr-*")) == []
+
+    def test_truss_decomposition_identical_with_spill(self, tmp_path):
+        g = random_graph(16, 0.35, seed=99)
+        rt = LocalMRRuntime(num_reducers=4, spill_dir=tmp_path, io_stats=IOStats())
+        td = truss_decomposition_mapreduce(g, runtime=rt)
+        assert td == truss_decomposition_improved(g)
+
+    def test_spill_handles_tuple_keys(self, tmp_path):
+        def mapper(_k, v):
+            yield ((v, v + 1), "edge")
+
+        def reducer(k, vs):
+            yield (k, len(vs))
+
+        rt = LocalMRRuntime(num_reducers=2, spill_dir=tmp_path, io_stats=IOStats())
+        out = rt.run(MapReduceJob("t", mapper, reducer), [(None, 1), (None, 1)])
+        assert out == [((1, 2), 2)]

@@ -1,0 +1,95 @@
+"""Tests for one-scan bucket distribution."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.exio import IOStats
+from repro.graph import Graph
+from repro.partition.distribute import BucketSet, distribute_edges
+
+from conftest import small_edge_lists
+
+
+class TestBucketSet:
+    def test_append_read_roundtrip(self, tmp_path):
+        stats = IOStats(block_size=64)
+        b = BucketSet(2, tmp_path, stats, tag="t")
+        b.append(0, (1, 2, 9))
+        b.append(1, (3, 4, 8))
+        b.append(0, (5, 6, 7))
+        b.seal()
+        assert list(b.read(0)) == [(1, 2, 9), (5, 6, 7)]
+        assert list(b.read(1)) == [(3, 4, 8)]
+        b.delete()
+        assert not any(p.exists() for p in b.paths)
+
+    def test_seal_idempotent(self, tmp_path):
+        b = BucketSet(1, tmp_path, IOStats(), tag="t")
+        b.seal()
+        b.seal()
+
+    def test_context_manager_cleans_up(self, tmp_path):
+        with BucketSet(2, tmp_path, IOStats(), tag="c") as b:
+            b.append(0, (1, 2, 3))
+        assert not any(p.exists() for p in b.paths)
+
+    def test_empty_bucket_reads_empty(self, tmp_path):
+        b = BucketSet(3, tmp_path, IOStats(), tag="e")
+        b.seal()
+        assert list(b.read(2)) == []
+        b.delete()
+
+
+class TestDistributeEdges:
+    def test_each_edge_in_its_endpoint_buckets(self, tmp_path):
+        block_of = {0: 0, 1: 0, 2: 1, 3: 1}
+        records = [(0, 1, 5), (1, 2, 6), (2, 3, 7)]
+        buckets = distribute_edges(records, block_of, 2, tmp_path, IOStats())
+        assert list(buckets.read(0)) == [(0, 1, 5), (1, 2, 6)]
+        assert list(buckets.read(1)) == [(1, 2, 6), (2, 3, 7)]
+        buckets.delete()
+
+    def test_unmapped_endpoints_skipped(self, tmp_path):
+        block_of = {0: 0}
+        records = [(0, 1, 1), (5, 6, 2)]
+        buckets = distribute_edges(records, block_of, 1, tmp_path, IOStats())
+        assert list(buckets.read(0)) == [(0, 1, 1)]
+        buckets.delete()
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_edge_lists())
+    def test_bucket_is_neighborhood_subgraph(self, edges):
+        """Bucket i must hold exactly the NS(block_i) edge set."""
+        import tempfile
+        from pathlib import Path
+
+        g = Graph(edges)
+        vs = g.sorted_vertices()
+        block_of = {v: v % 3 for v in vs}
+        with tempfile.TemporaryDirectory() as d:
+            buckets = distribute_edges(
+                ((u, v, 0) for u, v in g.edges()), block_of, 3, Path(d), IOStats()
+            )
+            for i in range(3):
+                got = {(u, v) for u, v, _a in buckets.read(i)}
+                want = {
+                    (u, v)
+                    for u, v in g.edges()
+                    if block_of[u] == i or block_of[v] == i
+                }
+                assert got == want, i
+            buckets.delete()
+
+    def test_io_accounted(self, tmp_path):
+        stats = IOStats(block_size=32)
+        buckets = distribute_edges(
+            [(i, i + 1, 0) for i in range(0, 40, 2)],
+            {v: 0 for v in range(41)},
+            1,
+            tmp_path,
+            stats,
+        )
+        assert stats.blocks_written > 0
+        list(buckets.read(0))
+        assert stats.blocks_read > 0
+        buckets.delete()

@@ -1,0 +1,92 @@
+"""Unit + property tests for repro.triangles.listing."""
+
+from hypothesis import given, settings
+
+from repro.graph import Graph, complete_graph, cycle_graph, disjoint_union, star_graph
+from repro.triangles import (
+    degree_ranks,
+    iter_triangles,
+    oriented_adjacency,
+    triangle_count,
+)
+
+from conftest import small_edge_lists
+from oracles import brute_triangles
+
+
+class TestDegreeRanks:
+    def test_dense_and_ordered_by_degree(self):
+        g = Graph([(0, 1), (0, 2), (0, 3), (1, 2)])
+        rank = degree_ranks(g)
+        assert sorted(rank.values()) == [0, 1, 2, 3]
+        assert rank[3] < rank[0]  # deg(3)=1 < deg(0)=3
+
+    def test_ties_broken_by_id(self):
+        g = cycle_graph(4)  # all degree 2
+        rank = degree_ranks(g)
+        assert rank[0] < rank[1] < rank[2] < rank[3]
+
+
+class TestOrientedAdjacency:
+    def test_each_edge_oriented_once(self):
+        g = complete_graph(5)
+        out = oriented_adjacency(g)
+        assert sum(len(s) for s in out.values()) == g.num_edges
+
+    def test_out_neighbors_have_higher_rank(self):
+        g = Graph([(0, 1), (0, 2), (1, 2), (2, 3)])
+        rank = degree_ranks(g)
+        out = oriented_adjacency(g)
+        for v, outs in out.items():
+            for w in outs:
+                assert rank[w] > rank[v]
+
+
+class TestTriangles:
+    def test_k3(self):
+        assert triangle_count(complete_graph(3)) == 1
+        assert len(list(iter_triangles(complete_graph(3)))) == 1
+
+    def test_k5_count(self):
+        # C(5,3) = 10 triangles
+        assert triangle_count(complete_graph(5)) == 10
+
+    def test_triangle_free_graphs(self):
+        assert triangle_count(cycle_graph(5)) == 0
+        assert triangle_count(star_graph(10)) == 0
+        assert list(iter_triangles(cycle_graph(6))) == []
+
+    def test_empty_graph(self):
+        assert triangle_count(Graph()) == 0
+
+    def test_disjoint_components_sum(self):
+        g = disjoint_union([complete_graph(4), complete_graph(3)])
+        assert triangle_count(g) == 4 + 1
+
+    def test_each_triangle_listed_once(self):
+        g = complete_graph(6)
+        tris = [frozenset(t) for t in iter_triangles(g)]
+        assert len(tris) == len(set(tris)) == 20
+
+    def test_listed_triangles_are_triangles(self):
+        g = Graph([(0, 1), (1, 2), (0, 2), (2, 3), (3, 0)])
+        for a, b, c in iter_triangles(g):
+            assert g.has_edge(a, b) and g.has_edge(b, c) and g.has_edge(a, c)
+
+    @settings(max_examples=60)
+    @given(small_edge_lists())
+    def test_matches_bruteforce(self, edges):
+        g = Graph(edges)
+        listed = {frozenset(t) for t in iter_triangles(g)}
+        assert listed == brute_triangles(g)
+        assert triangle_count(g) == len(listed)
+
+    @settings(max_examples=30)
+    @given(small_edge_lists())
+    def test_count_matches_networkx(self, edges):
+        import networkx as nx
+
+        g = Graph(edges)
+        ng = nx.Graph(list(g.edges()))
+        ng.add_nodes_from(g.vertices())
+        assert triangle_count(g) == sum(nx.triangles(ng).values()) // 3

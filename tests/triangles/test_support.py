@@ -1,0 +1,73 @@
+"""Unit + property tests for repro.triangles.support."""
+
+from hypothesis import given, settings
+
+from repro.graph import Graph, complete_graph, cycle_graph, neighborhood_subgraph
+from repro.triangles import edge_supports, max_support, support_of_edges, supports_within
+
+from conftest import small_edge_lists
+from oracles import brute_all_supports, brute_support
+
+
+class TestEdgeSupports:
+    def test_clique_supports(self):
+        g = complete_graph(5)
+        sup = edge_supports(g)
+        assert all(s == 3 for s in sup.values())
+        assert len(sup) == 10
+
+    def test_triangle_free_all_zero(self):
+        sup = edge_supports(cycle_graph(6))
+        assert all(s == 0 for s in sup.values())
+        assert len(sup) == 6
+
+    def test_every_edge_present(self):
+        g = Graph([(0, 1), (1, 2), (0, 2), (2, 3)])
+        sup = edge_supports(g)
+        assert set(sup) == set(g.edges())
+        assert sup[(2, 3)] == 0
+        assert sup[(0, 1)] == 1
+
+    def test_empty_graph(self):
+        assert edge_supports(Graph()) == {}
+        assert max_support(Graph()) == 0
+
+    def test_max_support(self):
+        assert max_support(complete_graph(6)) == 4
+
+    @settings(max_examples=60)
+    @given(small_edge_lists())
+    def test_matches_bruteforce(self, edges):
+        g = Graph(edges)
+        assert edge_supports(g) == brute_all_supports(g)
+
+
+class TestSupportOfEdges:
+    def test_subset_query(self):
+        g = complete_graph(4)
+        sup = support_of_edges(g, [(0, 1)])
+        assert sup == {(0, 1): 2}
+
+    def test_accepts_unordered_pairs(self):
+        g = complete_graph(3)
+        assert support_of_edges(g, [(2, 0)]) == {(0, 2): 1}
+
+
+class TestSupportsWithin:
+    def test_internal_supports_exact(self):
+        # path 0-1-2-3 plus triangles around 1-2
+        g = Graph([(0, 1), (1, 2), (2, 3), (1, 4), (2, 4), (1, 5), (2, 5)])
+        ns = neighborhood_subgraph(g, [1, 2])
+        sup = supports_within(ns.graph, ns.internal_vertices)
+        assert sup == {(1, 2): 2}
+
+    @settings(max_examples=40)
+    @given(small_edge_lists())
+    def test_matches_global_support(self, edges):
+        g = Graph(edges)
+        vs = sorted(g.vertices())
+        internal = set(vs[::2])
+        ns = neighborhood_subgraph(g, internal)
+        sup = supports_within(ns.graph, ns.internal_vertices)
+        for (u, v), s in sup.items():
+            assert s == brute_support(g, u, v)
