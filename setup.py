@@ -1,2 +1,10 @@
+"""Shim for ``pip install -e .`` and legacy ``python setup.py`` tooling.
+
+All project metadata lives in ``setup.cfg`` (src layout, entry points,
+extras).  An editable install makes the ``PYTHONPATH=src`` hack
+optional and puts the ``repro`` console script on ``PATH``.
+"""
+
 from setuptools import setup
+
 setup()

@@ -3,6 +3,7 @@
 Public surface::
 
     table2_rows .. table6_rows, figure1_rows, figure2_rows
+    flat_engine_rows (ablation: flat engine vs TD-inmem/TD-inmem+)
     measure, external_budget
     render_table, render_markdown, print_table
 """
@@ -12,6 +13,7 @@ from repro.bench.harness import (
     external_budget,
     figure1_rows,
     figure2_rows,
+    flat_engine_rows,
     measure,
     print_table,
     table2_rows,
@@ -36,6 +38,7 @@ __all__ = [
     "table4_rows",
     "table5_rows",
     "table6_rows",
+    "flat_engine_rows",
     "figure1_rows",
     "figure2_rows",
     "print_table",

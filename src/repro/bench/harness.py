@@ -23,6 +23,7 @@ from repro.bench.tables import render_table
 from repro.core import (
     truss_decomposition_baseline,
     truss_decomposition_bottomup,
+    truss_decomposition_flat,
     truss_decomposition_improved,
     truss_decomposition_mapreduce,
     truss_decomposition_topdown,
@@ -131,6 +132,58 @@ def table3_rows(scale: float = 1.0, names: Optional[Sequence[str]] = None) -> Li
                 "paper speedup": (
                     paper_base / paper_impr if paper_base else None
                 ),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Ablation — flat edge-indexed engine vs the paper's in-memory pair
+# ---------------------------------------------------------------------------
+def flat_engine_rows(
+    scale: float = 1.0,
+    names: Optional[Sequence[str]] = None,
+    include_baseline: bool = True,
+    repeats: int = 2,
+) -> List[Dict]:
+    """The flat engine against TD-inmem+ and TD-inmem, same trussness.
+
+    Timing is best-of-``repeats`` *without* tracemalloc (its allocation
+    hooks would distort the comparison: the dict-based engines allocate
+    many more small objects than the array-based one).  Every run is
+    checked for equality against the improved result before its time is
+    reported.
+    """
+    def timed(fn, reference=None):
+        seconds = None
+        result = None
+        for _ in range(max(1, repeats)):
+            run = measure(fn, track_memory=False)
+            result = run.result
+            seconds = run.seconds if seconds is None else min(seconds, run.seconds)
+            if reference is not None:
+                assert result == reference
+        return seconds, result
+
+    rows = []
+    for name in names or (IN_MEMORY_DATASETS + MASSIVE_DATASETS):
+        g = load_dataset(name, scale=scale)
+        t_impr, ref = timed(lambda: truss_decomposition_improved(g))
+        t_flat, _ = timed(lambda: truss_decomposition_flat(g), reference=ref)
+        t_base = None
+        if include_baseline:
+            t_base, _ = timed(
+                lambda: truss_decomposition_baseline(g), reference=ref
+            )
+        rows.append(
+            {
+                "dataset": name,
+                "|E|": g.num_edges,
+                "kmax": ref.kmax,
+                "TD-inmem (s)": t_base,
+                "TD-inmem+ (s)": t_impr,
+                "flat (s)": t_flat,
+                "speedup vs inmem+": t_impr / max(t_flat, 1e-9),
             }
         )
     return rows
@@ -377,6 +430,10 @@ TABLE_HEADERS = {
     "table6": [
         "dataset", "|V_T|", "|V_C|", "|E_T|", "|E_C|", "kmax", "cmax",
         "CC_T", "CC_C", "paper kmax/cmax", "paper CC_T/CC_C",
+    ],
+    "flat_engine": [
+        "dataset", "|E|", "kmax", "TD-inmem (s)", "TD-inmem+ (s)",
+        "flat (s)", "speedup vs inmem+",
     ],
     "figure1": ["subgraph", "|V|", "|E|", "CC", "paper CC"],
     "figure2": ["k", "|Phi_k| measured", "|Phi_k| paper", "match"],

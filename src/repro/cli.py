@@ -20,7 +20,7 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
-from repro.core import truss_decomposition, truss_hierarchy
+from repro.core import METHODS, truss_decomposition, truss_hierarchy
 from repro.cores import GraphStatistics, average_clustering, max_core
 from repro.datasets import dataset_names, load_dataset
 from repro.exio import IOStats, MemoryBudget
@@ -136,7 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--method",
         default="improved",
-        choices=["improved", "baseline", "bottomup", "topdown", "mapreduce"],
+        choices=list(METHODS),
     )
     p.add_argument(
         "--memory-fraction",

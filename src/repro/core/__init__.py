@@ -7,10 +7,16 @@ Public surface (see :mod:`repro.core.api` for the uniform front door)::
     TrussDecomposition                   result model
     truss_decomposition_baseline         Algorithm 1  (TD-inmem)
     truss_decomposition_improved         Algorithm 2  (TD-inmem+)
+    truss_decomposition_flat             Algorithm 2 over flat edge ids
     truss_decomposition_bottomup         Algorithms 3+4 (TD-bottomup)
     truss_decomposition_topdown          Algorithm 7  (TD-topdown)
     truss_decomposition_mapreduce        Cohen's TD-MR baseline
     lower_bounding / upper_bounding      the bound stages, standalone
+
+``truss_decomposition_flat`` is this repo's addition, not the paper's:
+the same bin-sorted peel as TD-inmem+, run over the CSR snapshot's
+canonical edge-id arrays (see :mod:`repro.core.flat`), 2-3x faster on
+the registry datasets.
 """
 
 from repro.core.api import (
@@ -22,6 +28,7 @@ from repro.core.api import (
 )
 from repro.core.bottomup import ample_budget, peel_level, truss_decomposition_bottomup
 from repro.core.decomposition import DecompositionStats, TrussDecomposition
+from repro.core.flat import truss_decomposition_flat
 from repro.core.hierarchy import HierarchyLevel, TrussHierarchy, truss_hierarchy
 from repro.core.lowerbound import LowerBoundResult, lower_bounding, prepare_input
 from repro.core.mapreduce_truss import k_truss_mr, truss_decomposition_mapreduce
@@ -44,6 +51,7 @@ __all__ = [
     "HierarchyLevel",
     "truss_decomposition_baseline",
     "truss_decomposition_improved",
+    "truss_decomposition_flat",
     "truss_decomposition_bottomup",
     "truss_decomposition_topdown",
     "truss_decomposition_mapreduce",

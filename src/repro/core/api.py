@@ -1,20 +1,27 @@
 """The library's front door: uniform truss-decomposition entry points.
 
-``truss_decomposition(g, method=...)`` dispatches to the four
-implementations the paper evaluates; ``k_truss``/``trussness``/
-``top_t_classes`` are the conveniences most applications want.
+``truss_decomposition(g, method=...)`` dispatches to the paper's
+implementations plus this repo's flat engine; ``k_truss``/
+``trussness``/``top_t_classes`` are the conveniences most applications
+want.
 
 Methods:
 
 ========== ==================================== =========================
-name       paper algorithm                       when to use
+name       algorithm                             when to use
 ========== ==================================== =========================
 improved   Algorithm 2 (TD-inmem+)               default; graph fits RAM
+flat       Algorithm 2 over flat edge-id arrays  fastest in-memory path
 baseline   Algorithm 1 (TD-inmem, Cohen)         comparison only
 bottomup   Algorithms 3+4 (TD-bottomup)          graph exceeds memory
 topdown    Algorithm 7 (TD-topdown)              only the top-t classes
 mapreduce  Cohen's TD-MR                         comparison only
 ========== ==================================== =========================
+
+``flat`` (see :mod:`repro.core.flat`) is not in the paper: it runs the
+same bin-sorted peeling as ``improved`` but over the CSR snapshot's
+canonical edge ids — integer arrays instead of dict-of-set adjacency —
+and is the substrate future scaling work builds on.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from typing import Dict, List, Optional
 
 from repro.core.bottomup import truss_decomposition_bottomup
 from repro.core.decomposition import TrussDecomposition
+from repro.core.flat import truss_decomposition_flat
 from repro.core.mapreduce_truss import truss_decomposition_mapreduce
 from repro.core.topdown import truss_decomposition_topdown
 from repro.core.truss_baseline import truss_decomposition_baseline
@@ -35,7 +43,7 @@ from repro.graph.adjacency import Graph
 from repro.graph.edges import Edge
 from repro.partition.base import Partitioner
 
-METHODS = ("improved", "baseline", "bottomup", "topdown", "mapreduce")
+METHODS = ("improved", "flat", "baseline", "bottomup", "topdown", "mapreduce")
 
 
 def truss_decomposition(
@@ -66,6 +74,9 @@ def truss_decomposition(
     if method == "improved":
         _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
         return truss_decomposition_improved(g)
+    if method == "flat":
+        _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
+        return truss_decomposition_flat(g)
     if method == "baseline":
         _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
         return truss_decomposition_baseline(g)

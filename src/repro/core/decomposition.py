@@ -74,6 +74,26 @@ class TrussDecomposition:
         self.stats = stats
         self._classes: Optional[Dict[int, List[Edge]]] = None
 
+    @classmethod
+    def from_canonical(
+        cls,
+        trussness: Dict[Edge, int],
+        stats: Optional[DecompositionStats] = None,
+    ) -> "TrussDecomposition":
+        """Wrap an already-canonical trussness dict without re-checking.
+
+        Fast path for internal engines that construct their result with
+        ``u < v`` keys and ``k >= 2`` values by construction (the flat
+        engine's label arrays guarantee both); skips the per-edge
+        normalization pass of ``__init__``.  The dict is adopted, not
+        copied — callers must hand over ownership.
+        """
+        td = cls.__new__(cls)
+        td._phi = trussness
+        td.stats = stats
+        td._classes = None
+        return td
+
     # ------------------------------------------------------------------
     @property
     def trussness(self) -> Mapping[Edge, int]:

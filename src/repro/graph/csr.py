@@ -12,11 +12,17 @@ scans.  It is the in-memory analogue of the on-disk adjacency format in
 from __future__ import annotations
 
 from array import array
-from typing import Dict, Iterator, List, Sequence, Tuple
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import VertexNotFoundError
+from repro.errors import EdgeNotFoundError, VertexNotFoundError
 from repro.graph.adjacency import Graph
 from repro.graph.edges import Edge
+
+try:  # optional accelerator; every code path has a stdlib fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 
 class CSRGraph:
@@ -27,18 +33,21 @@ class CSRGraph:
     "vertices sorted in ascending order of their IDs" invariant holds.
     """
 
-    __slots__ = ("indptr", "indices", "labels", "_index_of")
+    __slots__ = ("indptr", "indices", "labels", "_index_of", "_eids")
 
     def __init__(self, indptr: array, indices: array, labels: List[int]) -> None:
         self.indptr = indptr
         self.indices = indices
         self.labels = labels
         self._index_of: Dict[int, int] = {v: i for i, v in enumerate(labels)}
+        self._eids: Optional[array] = None
 
     @classmethod
     def from_graph(cls, g: Graph) -> "CSRGraph":
         """Snapshot a mutable :class:`Graph` into CSR form."""
         labels = g.sorted_vertices()
+        if _np is not None and g.num_edges:
+            return cls._from_graph_numpy(g, labels)
         index_of = {v: i for i, v in enumerate(labels)}
         indptr = array("q", [0])
         indices = array("q")
@@ -47,6 +56,29 @@ class CSRGraph:
             indices.extend(row)
             indptr.append(len(indices))
         return cls(indptr, indices, labels)
+
+    @classmethod
+    def _from_graph_numpy(cls, g: Graph, labels: List[int]) -> "CSRGraph":
+        from itertools import chain
+
+        n, m = len(labels), g.num_edges
+        flat = _np.fromiter(
+            chain.from_iterable(g.edges()), dtype=_np.int64, count=2 * m
+        )
+        lab = _np.asarray(labels, dtype=_np.int64)
+        # labels are sorted, so searchsorted IS the original->compact map
+        u = _np.searchsorted(lab, flat[0::2])
+        v = _np.searchsorted(lab, flat[1::2])
+        src = _np.concatenate((u, v))
+        dst = _np.concatenate((v, u))
+        by_row = _np.lexsort((dst, src))
+        indptr = _np.zeros(n + 1, dtype=_np.int64)
+        _np.cumsum(_np.bincount(src, minlength=n), out=indptr[1:])
+        return cls(
+            array("q", indptr.tobytes()),
+            array("q", dst[by_row].tobytes()),
+            labels,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -91,6 +123,96 @@ class CSRGraph:
         for i, j in self.edges_compact():
             u, v = labels[i], labels[j]
             yield (u, v) if u < v else (v, u)
+
+    # ------------------------------------------------------------------
+    # canonical edge ids
+    #
+    # Both directed slots of an undirected edge carry the same id, dense
+    # in 0..m-1 and assigned in ascending ``(i, j)`` (compact, i < j)
+    # order — i.e. in ``edges_compact()`` iteration order.  This is the
+    # integer substrate the flat peeling engine indexes its support,
+    # position and alive arrays by.
+    @property
+    def eids(self) -> array:
+        """Edge id of each directed slot, parallel to ``indices``.
+
+        Built lazily on first access (one ``O(m log dmax)`` pass, or a
+        vectorized ``np.unique`` when numpy is available), so CSR users
+        that never touch edge ids pay nothing.
+        """
+        if self._eids is None:
+            if _np is not None and len(self.indices):
+                self._eids = self._build_eids_numpy()
+            else:
+                self._eids = self._build_eids_python()
+        return self._eids
+
+    def _build_eids_numpy(self) -> array:
+        n = self.num_vertices
+        indptr = _np.frombuffer(self.indptr, dtype=_np.int64)
+        dst = _np.frombuffer(self.indices, dtype=_np.int64)
+        src = _np.repeat(_np.arange(n, dtype=_np.int64), _np.diff(indptr))
+        # both directions of an edge share one canonical (min, max) key;
+        # keys ascend exactly in edges_compact() order, so np.unique's
+        # inverse IS the dense canonical id
+        key = _np.minimum(src, dst) * n + _np.maximum(src, dst)
+        _, eids = _np.unique(key, return_inverse=True)
+        return array("q", eids.astype(_np.int64).tobytes())
+
+    def _build_eids_python(self) -> array:
+        indptr, indices = self.indptr, self.indices
+        eids = array("q", [0]) * len(indices)
+        next_id = 0
+        for i in range(self.num_vertices):
+            for t in range(indptr[i], indptr[i + 1]):
+                j = indices[t]
+                if i < j:
+                    eids[t] = next_id
+                    next_id += 1
+                else:
+                    # row j < i was already numbered: copy the id
+                    # from the mirror slot (j, i).
+                    s = bisect_left(indices, i, indptr[j], indptr[j + 1])
+                    eids[t] = eids[s]
+        return eids
+
+    def edge_id(self, i: int, j: int) -> int:
+        """Canonical edge id of compact edge ``(i, j)``.
+
+        Binary-searches the shorter endpoint's sorted adjacency run;
+        raises :class:`EdgeNotFoundError` if the edge is absent.
+        """
+        if self.degree(j) < self.degree(i):
+            i, j = j, i
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        t = bisect_left(self.indices, j, lo, hi)
+        if t == hi or self.indices[t] != j:
+            raise EdgeNotFoundError(self.original_id(i), self.original_id(j))
+        return self.eids[t]
+
+    def edge_endpoints(self) -> Tuple[array, array]:
+        """Compact endpoint arrays ``(eu, ev)`` indexed by edge id.
+
+        ``eu[e] < ev[e]`` for every id ``e``; together with :attr:`eids`
+        this is the full edge<->id bijection.
+        """
+        if _np is not None and len(self.indices):
+            n = self.num_vertices
+            indptr = _np.frombuffer(self.indptr, dtype=_np.int64)
+            dst = _np.frombuffer(self.indices, dtype=_np.int64)
+            src = _np.repeat(_np.arange(n, dtype=_np.int64), _np.diff(indptr))
+            eids = _np.frombuffer(self.eids, dtype=_np.int64)
+            fwd = src < dst
+            eu = _np.empty(self.num_edges, dtype=_np.int64)
+            ev = _np.empty(self.num_edges, dtype=_np.int64)
+            eu[eids[fwd]] = src[fwd]
+            ev[eids[fwd]] = dst[fwd]
+            return array("q", eu.tobytes()), array("q", ev.tobytes())
+        eu, ev = array("q"), array("q")
+        for i, j in self.edges_compact():
+            eu.append(i)
+            ev.append(j)
+        return eu, ev
 
     def degree_order(self) -> List[int]:
         """Compact ids ordered by (degree, id) ascending.

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from repro.cliques import iter_maximal_cliques, maximal_cliques, maximum_clique
 from repro.graph import Graph, complete_graph, cycle_graph, disjoint_union, star_graph
 
-from conftest import small_edge_lists
+from helpers import small_edge_lists
 
 
 class TestMaximalCliques:

@@ -13,7 +13,7 @@ from repro.core import truss_decomposition_improved
 from repro.datasets import erdos_renyi, plant_biclique, plant_clique
 from repro.graph import Graph, complete_graph, disjoint_union
 
-from conftest import random_graph, small_edge_lists
+from helpers import random_graph, small_edge_lists
 
 
 class TestCliquesOfSizeAtLeast:

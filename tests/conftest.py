@@ -1,16 +1,20 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures for the test suite.
+
+Plain helpers and hypothesis strategies live in :mod:`tests.helpers`
+(imported as ``from helpers import ...`` thanks to the ``sys.path``
+shim below) so they can never be shadowed by another ``conftest.py``
+collected in the same run — see the note in ``helpers.py``.
+"""
 
 from __future__ import annotations
 
-import random
 import sys
 from pathlib import Path
-from typing import List, Tuple
 
 import pytest
-from hypothesis import strategies as st
 
-# Make the sibling ``oracles`` module importable from every test package.
+# Make the sibling ``oracles`` and ``helpers`` modules importable from
+# every test package.
 sys.path.insert(0, str(Path(__file__).parent))
 
 from repro.graph import Graph, complete_graph, disjoint_union  # noqa: E402
@@ -34,39 +38,3 @@ def two_communities() -> Graph:
     g = disjoint_union([complete_graph(5), complete_graph(4)])
     g.add_edge(0, 5)
     return g
-
-
-def random_graph(n: int, p: float, seed: int) -> Graph:
-    """Seeded G(n, p) used by deterministic randomized tests."""
-    rng = random.Random(seed)
-    g = Graph()
-    for v in range(n):
-        g.add_vertex(v)
-    for u in range(n):
-        for v in range(u + 1, n):
-            if rng.random() < p:
-                g.add_edge(u, v)
-    return g
-
-
-# ---------------------------------------------------------------------------
-# hypothesis strategies
-# ---------------------------------------------------------------------------
-@st.composite
-def small_edge_lists(draw, max_vertices: int = 12, max_edges: int = 40):
-    """A list of distinct canonical edges over a small vertex range."""
-    n = draw(st.integers(min_value=2, max_value=max_vertices))
-    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
-    return draw(
-        st.lists(
-            st.sampled_from(possible),
-            max_size=min(max_edges, len(possible)),
-            unique=True,
-        )
-    )
-
-
-@st.composite
-def small_graphs(draw, max_vertices: int = 12, max_edges: int = 40):
-    """A small random simple graph (possibly empty / disconnected)."""
-    return Graph(draw(small_edge_lists(max_vertices, max_edges)))

@@ -7,7 +7,7 @@ from repro.errors import DecompositionError
 from repro.exio import MemoryBudget
 from repro.graph import Graph, complete_graph, disjoint_union
 
-from conftest import random_graph
+from helpers import random_graph
 
 
 class TestDispatch:

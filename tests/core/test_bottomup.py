@@ -16,7 +16,7 @@ from repro.partition import (
     SequentialPartitioner,
 )
 
-from conftest import random_graph, small_edge_lists
+from helpers import random_graph, small_edge_lists
 
 PARTITIONERS = [
     SequentialPartitioner(),

@@ -6,7 +6,7 @@ from repro.core import truss_decomposition_improved, truss_hierarchy
 from repro.datasets import running_example_graph
 from repro.graph import Graph, complete_graph, disjoint_union, star_graph
 
-from conftest import small_edge_lists
+from helpers import small_edge_lists
 
 
 class TestHierarchyShape:

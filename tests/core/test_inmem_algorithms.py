@@ -21,7 +21,7 @@ from repro.graph import (
     star_graph,
 )
 
-from conftest import random_graph, small_edge_lists
+from helpers import random_graph, small_edge_lists
 from oracles import brute_trussness
 
 ALGOS = [truss_decomposition_baseline, truss_decomposition_improved]

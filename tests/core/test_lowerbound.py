@@ -8,7 +8,7 @@ from repro.exio import DiskEdgeFile, IOStats, MemoryBudget
 from repro.graph import Graph, complete_graph
 from repro.partition import SequentialPartitioner
 
-from conftest import random_graph, small_edge_lists
+from helpers import random_graph, small_edge_lists
 
 
 def run_lowerbound(g, tmp_path, units=24, partitioner=None):

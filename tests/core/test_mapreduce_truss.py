@@ -11,7 +11,7 @@ from repro.core import (
 from repro.graph import Graph, complete_graph, cycle_graph, disjoint_union
 from repro.mapreduce import LocalMRRuntime
 
-from conftest import random_graph, small_edge_lists
+from helpers import random_graph, small_edge_lists
 
 
 class TestKTrussMR:

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from repro.core import peel_level, truss_decomposition_improved
 from repro.graph import Graph, complete_graph
 
-from conftest import small_edge_lists
+from helpers import small_edge_lists
 
 
 class TestPeelLevelBottomUpMode:

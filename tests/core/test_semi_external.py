@@ -11,7 +11,7 @@ from repro.core import (
 from repro.exio import IOStats, MemoryBudget
 from repro.graph import Graph, complete_graph
 
-from conftest import random_graph, small_edge_lists
+from helpers import random_graph, small_edge_lists
 
 
 class TestCorrectness:

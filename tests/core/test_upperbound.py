@@ -9,7 +9,7 @@ from repro.exio import DiskEdgeFile, IOStats, MemoryBudget
 from repro.graph import Graph, complete_graph
 from repro.triangles import edge_supports
 
-from conftest import random_graph
+from helpers import random_graph
 
 
 class TestHIndex:

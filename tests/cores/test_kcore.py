@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from repro.cores import core_numbers, degeneracy, k_core, max_core
 from repro.graph import Graph, complete_graph, cycle_graph, disjoint_union, star_graph
 
-from conftest import small_edge_lists
+from helpers import small_edge_lists
 from oracles import brute_core_numbers
 
 

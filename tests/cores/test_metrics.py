@@ -14,7 +14,7 @@ from repro.cores import (
 )
 from repro.graph import Graph, complete_graph, cycle_graph, star_graph
 
-from conftest import small_edge_lists
+from helpers import small_edge_lists
 from oracles import brute_average_clustering, brute_local_clustering
 
 

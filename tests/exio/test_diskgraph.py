@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from repro.exio import DiskAdjacencyGraph, IOStats
 from repro.graph import Graph, complete_graph
 
-from conftest import small_edge_lists
+from helpers import small_edge_lists
 
 
 def build(tmp_path, edges, memory_records=4, block_size=64):

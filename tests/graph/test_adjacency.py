@@ -6,7 +6,7 @@ from hypothesis import given
 from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
 from repro.graph import Graph, complete_graph
 
-from conftest import small_edge_lists
+from helpers import small_edge_lists
 
 
 class TestConstruction:

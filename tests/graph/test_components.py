@@ -12,7 +12,7 @@ from repro.graph import (
     num_connected_components,
 )
 
-from conftest import small_edge_lists
+from helpers import small_edge_lists
 
 
 class TestConnectedComponents:

@@ -3,10 +3,10 @@
 import pytest
 from hypothesis import given
 
-from repro.errors import VertexNotFoundError
+from repro.errors import EdgeNotFoundError, VertexNotFoundError
 from repro.graph import CSRGraph, Graph, complete_graph
 
-from conftest import small_edge_lists
+from helpers import small_edge_lists
 
 
 class TestCSRConstruction:
@@ -79,3 +79,63 @@ class TestCSRQueries:
         assert set(c.edges_original()) == set(g.edges())
         assert c.num_vertices == g.num_vertices
         assert c.num_edges == g.num_edges
+
+    def test_isolated_vertices_kept(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(5)
+        c = CSRGraph.from_graph(g)
+        assert c.num_vertices == 3
+        assert c.degree(c.compact_id(5)) == 0
+
+
+class TestEdgeIds:
+    def test_ids_dense_and_canonical(self):
+        c = CSRGraph.from_graph(complete_graph(4))
+        ids = [c.edge_id(i, j) for i, j in c.edges_compact()]
+        # dense 0..m-1, assigned in edges_compact() order
+        assert ids == list(range(c.num_edges))
+
+    def test_both_directions_share_one_id(self):
+        c = CSRGraph.from_graph(Graph([(0, 1), (1, 2), (0, 2)]))
+        for i, j in c.edges_compact():
+            assert c.edge_id(i, j) == c.edge_id(j, i)
+
+    def test_eids_parallel_to_indices(self):
+        g = Graph([(0, 1), (0, 2), (1, 2), (2, 3)])
+        c = CSRGraph.from_graph(g)
+        for i in range(c.num_vertices):
+            for t in range(c.indptr[i], c.indptr[i + 1]):
+                assert c.eids[t] == c.edge_id(i, c.indices[t])
+
+    def test_missing_edge_raises(self):
+        c = CSRGraph.from_graph(Graph([(0, 1), (1, 2)]))
+        with pytest.raises(EdgeNotFoundError):
+            c.edge_id(c.compact_id(0), c.compact_id(2))
+
+    def test_endpoints_roundtrip(self):
+        g = Graph([(4, 1), (2, 8), (1, 2)])
+        c = CSRGraph.from_graph(g)
+        eu, ev = c.edge_endpoints()
+        assert len(eu) == len(ev) == c.num_edges
+        for e in range(c.num_edges):
+            assert eu[e] < ev[e]
+            assert c.edge_id(eu[e], ev[e]) == e
+
+    @given(small_edge_lists())
+    def test_id_bijection(self, edges):
+        g = Graph(edges)
+        c = CSRGraph.from_graph(g)
+        eu, ev = c.edge_endpoints()
+        seen = {c.edge_id(i, j) for i, j in c.edges_compact()}
+        assert seen == set(range(c.num_edges))
+        labels = c.labels
+        originals = {
+            tuple(sorted((labels[eu[e]], labels[ev[e]])))
+            for e in range(c.num_edges)
+        }
+        assert originals == set(g.edges())
+
+    def test_python_and_numpy_builds_agree(self):
+        g = Graph([(0, 1), (0, 2), (1, 2), (2, 3), (1, 3), (0, 9)])
+        c = CSRGraph.from_graph(g)
+        assert list(c._build_eids_python()) == list(c.eids)

@@ -15,7 +15,7 @@ from repro.graph import (
     write_edge_list,
 )
 
-from conftest import small_edge_lists
+from helpers import small_edge_lists
 
 
 class TestEdgeListText:

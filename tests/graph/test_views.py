@@ -10,7 +10,7 @@ from repro.graph import (
     union_edge_subgraph,
 )
 
-from conftest import small_edge_lists
+from helpers import small_edge_lists
 from oracles import brute_support
 
 

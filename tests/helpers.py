@@ -1,0 +1,56 @@
+"""Shared test helpers and hypothesis strategies.
+
+These used to live in ``tests/conftest.py`` and were imported with
+``from conftest import ...`` — which broke the moment a *second*
+top-level ``conftest.py`` (the benchmark suite's) was collected in the
+same run: pytest imports rootdir-relative conftests under the bare
+module name ``conftest``, and whichever loads first wins.  Plain
+helpers therefore live here, in a module with an unambiguous name;
+``tests/conftest.py`` keeps only fixtures and the ``sys.path`` shim
+that makes this module (and ``oracles``) importable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from hypothesis import strategies as st
+
+from repro.graph import Graph
+
+
+def random_graph(n: int, p: float, seed: int) -> Graph:
+    """Seeded G(n, p) used by deterministic randomized tests."""
+    rng = random.Random(seed)
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def small_edge_lists(draw, max_vertices: int = 12, max_edges: int = 40):
+    """A list of distinct canonical edges over a small vertex range."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return draw(
+        st.lists(
+            st.sampled_from(possible),
+            max_size=min(max_edges, len(possible)),
+            unique=True,
+        )
+    )
+
+
+@st.composite
+def small_graphs(draw, max_vertices: int = 12, max_edges: int = 40):
+    """A small random simple graph (possibly empty / disconnected)."""
+    return Graph(draw(small_edge_lists(max_vertices, max_edges)))

@@ -1,4 +1,4 @@
-"""Cross-method integration tests: all five implementations, one truth.
+"""Cross-method integration tests: all six implementations, one truth.
 
 DESIGN.md §5 pins the contract: every method produces the identical
 trussness map, on every graph family, under every memory budget and
@@ -23,7 +23,7 @@ from repro.datasets import (
 from repro.exio import MemoryBudget
 from repro.graph import Graph
 
-from conftest import random_graph, small_edge_lists
+from helpers import random_graph, small_edge_lists
 
 FAMILIES = {
     "er": lambda: erdos_renyi(60, 180, seed=71),
@@ -38,9 +38,10 @@ FAMILIES = {
 
 @pytest.mark.parametrize("family", sorted(FAMILIES), ids=str)
 class TestAllMethodsAgree:
-    def test_five_way_agreement(self, family):
+    def test_six_way_agreement(self, family):
         g = FAMILIES[family]()
         ref = truss_decomposition(g, method="improved")
+        assert truss_decomposition(g, method="flat") == ref
         assert truss_decomposition(g, method="baseline") == ref
         assert truss_decomposition(g, method="mapreduce") == ref
         for units in (24, 200):

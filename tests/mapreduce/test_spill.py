@@ -6,7 +6,7 @@ from repro.core import truss_decomposition_improved, truss_decomposition_mapredu
 from repro.exio import IOStats
 from repro.mapreduce import LocalMRRuntime, MapReduceJob
 
-from conftest import random_graph
+from helpers import random_graph
 
 
 def word_count():

@@ -7,7 +7,7 @@ from repro.exio import IOStats
 from repro.graph import Graph
 from repro.partition.distribute import BucketSet, distribute_edges
 
-from conftest import small_edge_lists
+from helpers import small_edge_lists
 
 
 class TestBucketSet:

@@ -9,7 +9,7 @@ from repro.partition import (
     iter_block_subgraphs,
 )
 
-from conftest import random_graph
+from helpers import random_graph
 from oracles import brute_support
 
 

@@ -15,7 +15,7 @@ from repro.partition import (
     vertex_weight,
 )
 
-from conftest import random_graph, small_edge_lists
+from helpers import random_graph, small_edge_lists
 
 ALL_PARTITIONERS = [
     SequentialPartitioner(),

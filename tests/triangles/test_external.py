@@ -18,7 +18,7 @@ from repro.triangles import (
     triangle_count,
 )
 
-from conftest import random_graph, small_edge_lists
+from helpers import random_graph, small_edge_lists
 
 
 def run_external(g, tmp_path, units=20, partitioner=None):

@@ -10,7 +10,7 @@ from repro.triangles import (
     triangle_count,
 )
 
-from conftest import small_edge_lists
+from helpers import small_edge_lists
 from oracles import brute_triangles
 
 

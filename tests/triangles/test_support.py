@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from repro.graph import Graph, complete_graph, cycle_graph, neighborhood_subgraph
 from repro.triangles import edge_supports, max_support, support_of_edges, supports_within
 
-from conftest import small_edge_lists
+from helpers import small_edge_lists
 from oracles import brute_all_supports, brute_support
 
 
