@@ -26,8 +26,11 @@ from repro.core import (
     truss_decomposition_flat,
     truss_decomposition_improved,
     truss_decomposition_mapreduce,
+    truss_decomposition_parallel,
     truss_decomposition_topdown,
 )
+from repro.graph.csr import CSRGraph
+from repro.graph.io import read_edge_list
 from repro.cores import GraphStatistics, average_clustering, max_core, median_degree
 from repro.datasets import (
     IN_MEMORY_DATASETS,
@@ -187,6 +190,133 @@ def flat_engine_rows(
             }
         )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Ablation — parallel wave peel: worker-count sweep
+# ---------------------------------------------------------------------------
+def parallel_scaling_rows(
+    scale: float = 1.0,
+    names: Optional[Sequence[str]] = None,
+    jobs_list: Sequence[int] = (1, 2, 4, 8),
+    repeats: int = 2,
+) -> List[Dict]:
+    """``method="parallel"`` across worker counts, parity-checked.
+
+    Every run is asserted equal to the flat engine's result before its
+    time is reported (the wave schedule is worker-count-invariant, so
+    the maps must be identical).  Timing is best-of-``repeats`` without
+    tracemalloc.  Wave statistics from the ``jobs_list[0]`` run ride
+    along so the scaling (or non-scaling) can be explained: a graph
+    peeled in a handful of huge waves amortizes the per-wave IPC
+    barriers; thousands of tiny waves cannot.
+    """
+    rows = []
+    for name in names or MASSIVE_DATASETS:
+        g = load_dataset(name, scale=scale)
+        ref = measure(
+            lambda: truss_decomposition_flat(g), track_memory=False
+        )
+        row: Dict = {
+            "dataset": name,
+            "|E|": g.num_edges,
+            "kmax": ref.result.kmax,
+            "flat (s)": ref.seconds,
+        }
+        wave_stats: Dict = {}
+        for jobs in jobs_list:
+            seconds = None
+            for _ in range(max(1, repeats)):
+                run = measure(
+                    lambda: truss_decomposition_parallel(g, jobs=jobs),
+                    track_memory=False,
+                )
+                assert run.result == ref.result, (name, jobs)
+                seconds = (
+                    run.seconds
+                    if seconds is None
+                    else min(seconds, run.seconds)
+                )
+            row[f"jobs={jobs} (s)"] = seconds
+            if not wave_stats:
+                extra = run.result.stats.extra
+                wave_stats = {
+                    k: extra[k]
+                    for k in ("waves", "levels", "max_wave", "triangles")
+                    if k in extra
+                }
+        first, last = jobs_list[0], jobs_list[-1]
+        row["speedup max-jobs"] = (
+            row[f"jobs={first} (s)"] / max(row[f"jobs={last} (s)"], 1e-9)
+        )
+        row.update(wave_stats)
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Ablation — dict-free streaming ingest vs the Graph round trip
+# ---------------------------------------------------------------------------
+def ingest_fastpath_rows(
+    path,
+    method: str = "flat",
+    jobs: Optional[int] = None,
+    repeats: int = 2,
+) -> Dict:
+    """File->trussness through both ingest routes, end to end.
+
+    Fast path: ``CSRGraph.from_edge_list_file`` -> flat/parallel engine.
+    Legacy path: ``read_edge_list`` (dict-of-set build) -> the same
+    engine (which snapshots the graph to CSR internally).  Results are
+    asserted identical; both the parse-only and end-to-end timings are
+    reported, best-of-``repeats``.
+    """
+    engine = (
+        (lambda g: truss_decomposition_parallel(g, jobs=jobs))
+        if method == "parallel"
+        else truss_decomposition_flat
+    )
+
+    def fast():
+        return engine(CSRGraph.from_edge_list_file(path))
+
+    def legacy():
+        return engine(read_edge_list(path))
+
+    row: Dict = {"file": str(path), "method": method}
+    fast_total = legacy_total = None
+    reference = None
+    for _ in range(max(1, repeats)):
+        parse = measure(
+            lambda: CSRGraph.from_edge_list_file(path), track_memory=False
+        )
+        row["fast parse (s)"] = min(
+            row.get("fast parse (s)", parse.seconds), parse.seconds
+        )
+        run = measure(fast, track_memory=False)
+        reference = run.result
+        fast_total = (
+            run.seconds if fast_total is None else min(fast_total, run.seconds)
+        )
+        parse = measure(lambda: read_edge_list(path), track_memory=False)
+        row["legacy parse (s)"] = min(
+            row.get("legacy parse (s)", parse.seconds), parse.seconds
+        )
+        run = measure(legacy, track_memory=False)
+        assert run.result == reference
+        legacy_total = (
+            run.seconds
+            if legacy_total is None
+            else min(legacy_total, run.seconds)
+        )
+    row["|E|"] = reference.num_edges
+    row["fast total (s)"] = fast_total
+    row["legacy total (s)"] = legacy_total
+    row["parse speedup"] = row["legacy parse (s)"] / max(
+        row["fast parse (s)"], 1e-9
+    )
+    row["end-to-end speedup"] = legacy_total / max(fast_total, 1e-9)
+    return row
 
 
 # ---------------------------------------------------------------------------

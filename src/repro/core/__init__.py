@@ -3,24 +3,31 @@
 Public surface (see :mod:`repro.core.api` for the uniform front door)::
 
     truss_decomposition(g, method=...)   dispatching entry point
+    decompose_file(path, method=...)     file -> trussness fast path
     k_truss(g, k), trussness(g)          conveniences
     TrussDecomposition                   result model
     truss_decomposition_baseline         Algorithm 1  (TD-inmem)
     truss_decomposition_improved         Algorithm 2  (TD-inmem+)
     truss_decomposition_flat             Algorithm 2 over flat edge ids
+    truss_decomposition_parallel         shared-memory parallel waves
     truss_decomposition_bottomup         Algorithms 3+4 (TD-bottomup)
     truss_decomposition_topdown          Algorithm 7  (TD-topdown)
     truss_decomposition_mapreduce        Cohen's TD-MR baseline
     lower_bounding / upper_bounding      the bound stages, standalone
 
-``truss_decomposition_flat`` is this repo's addition, not the paper's:
-the same bin-sorted peel as TD-inmem+, run over the CSR snapshot's
-canonical edge-id arrays (see :mod:`repro.core.flat`), 2-3x faster on
-the registry datasets.
+``truss_decomposition_flat`` and ``truss_decomposition_parallel`` are
+this repo's additions, not the paper's: the same peel semantics as
+TD-inmem+, run over the CSR snapshot's canonical edge-id arrays (see
+:mod:`repro.core.flat`), serially or fanned out over a worker pool
+through ``multiprocessing.shared_memory`` (:mod:`repro.core.parallel`
+with a ``jobs`` knob).  ``decompose_file`` feeds either engine straight
+from a text edge list via the dict-free streaming CSR ingest.
 """
 
 from repro.core.api import (
+    CSR_METHODS,
     METHODS,
+    decompose_file,
     k_truss,
     top_t_classes,
     truss_decomposition,
@@ -32,6 +39,7 @@ from repro.core.flat import truss_decomposition_flat
 from repro.core.hierarchy import HierarchyLevel, TrussHierarchy, truss_hierarchy
 from repro.core.lowerbound import LowerBoundResult, lower_bounding, prepare_input
 from repro.core.mapreduce_truss import k_truss_mr, truss_decomposition_mapreduce
+from repro.core.parallel import truss_decomposition_parallel
 from repro.core.semi_external import truss_decomposition_semi_external
 from repro.core.topdown import truss_decomposition_topdown
 from repro.core.truss_baseline import truss_decomposition_baseline
@@ -40,6 +48,8 @@ from repro.core.upperbound import h_index, upper_bounding, x_excluding
 
 __all__ = [
     "METHODS",
+    "CSR_METHODS",
+    "decompose_file",
     "truss_decomposition",
     "k_truss",
     "trussness",
@@ -52,6 +62,7 @@ __all__ = [
     "truss_decomposition_baseline",
     "truss_decomposition_improved",
     "truss_decomposition_flat",
+    "truss_decomposition_parallel",
     "truss_decomposition_bottomup",
     "truss_decomposition_topdown",
     "truss_decomposition_mapreduce",

@@ -11,7 +11,8 @@ Methods:
 name       algorithm                             when to use
 ========== ==================================== =========================
 improved   Algorithm 2 (TD-inmem+)               default; graph fits RAM
-flat       Algorithm 2 over flat edge-id arrays  fastest in-memory path
+flat       Algorithm 2 over flat edge-id arrays  fastest serial path
+parallel   shared-memory parallel wave peel      multi-core machines
 baseline   Algorithm 1 (TD-inmem, Cohen)         comparison only
 bottomup   Algorithms 3+4 (TD-bottomup)          graph exceeds memory
 topdown    Algorithm 7 (TD-topdown)              only the top-t classes
@@ -20,8 +21,14 @@ mapreduce  Cohen's TD-MR                         comparison only
 
 ``flat`` (see :mod:`repro.core.flat`) is not in the paper: it runs the
 same bin-sorted peeling as ``improved`` but over the CSR snapshot's
-canonical edge ids — integer arrays instead of dict-of-set adjacency —
-and is the substrate future scaling work builds on.
+canonical edge ids — integer arrays instead of dict-of-set adjacency.
+``parallel`` (see :mod:`repro.core.parallel`) fans the flat engine's
+level-synchronous waves out over a pool of worker processes sharing
+the triangle index through ``multiprocessing.shared_memory``; the
+``jobs`` knob sets the worker count.  Both accept a ready
+:class:`~repro.graph.csr.CSRGraph` in place of a ``Graph``, and
+:func:`decompose_file` feeds them straight from an edge-list file via
+the dict-free streaming ingest.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from repro.core.bottomup import truss_decomposition_bottomup
 from repro.core.decomposition import TrussDecomposition
 from repro.core.flat import truss_decomposition_flat
 from repro.core.mapreduce_truss import truss_decomposition_mapreduce
+from repro.core.parallel import truss_decomposition_parallel
 from repro.core.topdown import truss_decomposition_topdown
 from repro.core.truss_baseline import truss_decomposition_baseline
 from repro.core.truss_improved import truss_decomposition_improved
@@ -40,10 +48,18 @@ from repro.errors import DecompositionError
 from repro.exio.iostats import IOStats
 from repro.exio.memory import MemoryBudget
 from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph
 from repro.graph.edges import Edge
 from repro.partition.base import Partitioner
 
-METHODS = ("improved", "flat", "baseline", "bottomup", "topdown", "mapreduce")
+METHODS = (
+    "improved", "flat", "parallel", "baseline", "bottomup", "topdown",
+    "mapreduce",
+)
+
+#: methods that peel over the CSR substrate and accept it directly —
+#: these ride the dict-free file ingest in :func:`decompose_file`
+CSR_METHODS = ("flat", "parallel")
 
 
 def truss_decomposition(
@@ -55,28 +71,46 @@ def truss_decomposition(
     workdir: Optional[Path] = None,
     io_stats: Optional[IOStats] = None,
     top_t: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> TrussDecomposition:
     """Compute the truss decomposition of ``g``.
 
     Args:
-        g: the input graph (undirected, simple).
+        g: the input graph (undirected, simple).  The ``flat`` and
+            ``parallel`` methods also accept a ready
+            :class:`~repro.graph.csr.CSRGraph` snapshot.
         method: one of :data:`METHODS`.
         memory_budget: simulated memory ``M`` for the external methods.
         partitioner: partitioning strategy for the external methods.
         workdir: scratch directory for spill files (temp dir by default).
         io_stats: block-I/O counter to populate (external methods).
         top_t: with ``method='topdown'``, compute only the top-t classes.
+        jobs: with ``method='parallel'``, the worker-process count
+            (``None``: auto — serial on small graphs, one worker per
+            core otherwise).
 
     Returns:
         A :class:`TrussDecomposition`; for ``top_t`` runs it is partial
         (contains only the requested classes).
     """
+    if method != "parallel" and jobs is not None:
+        raise DecompositionError(
+            f"method {method!r} does not accept: jobs"
+        )
+    if isinstance(g, CSRGraph) and method not in CSR_METHODS:
+        raise DecompositionError(
+            f"method {method!r} needs a mutable Graph; CSR snapshots are "
+            f"accepted by {', '.join(CSR_METHODS)}"
+        )
     if method == "improved":
         _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
         return truss_decomposition_improved(g)
     if method == "flat":
         _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
         return truss_decomposition_flat(g)
+    if method == "parallel":
+        _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
+        return truss_decomposition_parallel(g, jobs=jobs)
     if method == "baseline":
         _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
         return truss_decomposition_baseline(g)
@@ -121,6 +155,33 @@ def _reject_external_args(method, memory_budget, partitioner, io_stats, top_t):
         raise DecompositionError(
             f"method {method!r} does not accept: {', '.join(bad)}"
         )
+
+
+def decompose_file(
+    path,
+    method: str = "flat",
+    *,
+    jobs: Optional[int] = None,
+    **kwargs,
+) -> TrussDecomposition:
+    """Truss-decompose an edge-list file, riding the ingest fast path.
+
+    For the CSR-substrate methods (:data:`CSR_METHODS`) the file is
+    streamed straight into a :class:`~repro.graph.csr.CSRGraph` via
+    :meth:`~repro.graph.csr.CSRGraph.from_edge_list_file` — no
+    dict-of-set ``Graph`` is ever built, which is ~2x end-to-end on
+    parse-dominated inputs.  Every other method falls back to
+    ``read_edge_list`` and the normal dispatcher (``kwargs`` are passed
+    through to :func:`truss_decomposition`).
+    """
+    if method in CSR_METHODS:
+        csr = CSRGraph.from_edge_list_file(path)
+        return truss_decomposition(csr, method=method, jobs=jobs, **kwargs)
+    from repro.graph.io import read_edge_list
+
+    return truss_decomposition(
+        read_edge_list(path), method=method, jobs=jobs, **kwargs
+    )
 
 
 def trussness(g: Graph, method: str = "improved") -> Dict[Edge, int]:

@@ -31,8 +31,13 @@ map, 2-3x faster than the improved method end to end.
 
 The result is bit-identical to the other in-memory methods; the flat
 integer substrate (``sup``/``order``/``pos``/``alive`` indexed by edge
-id) is what future scaling work — parallel peeling, sharding, array
-reuse in :mod:`repro.core.semi_external` — builds on.
+id) is what the scaling work builds on: :mod:`repro.core.parallel`
+fans the same waves out over a shared-memory worker pool,
+:mod:`repro.core.semi_external` initializes its per-edge state through
+:func:`initial_supports`, and the streaming ingest
+(:meth:`~repro.graph.csr.CSRGraph.from_edge_list_file`) feeds
+:func:`truss_decomposition_flat` a ready CSR snapshot with no
+dict-of-set round trip.
 """
 
 from __future__ import annotations
@@ -222,23 +227,15 @@ def _bin_sort(sup: array, m: int) -> Tuple[array, array, array]:
     return bin_start, order, pos
 
 
-def _peel_waves(csr: CSRGraph, m: int) -> Tuple[array, int]:
-    """Level-synchronous wave peeling over the triangle index (numpy).
+def _triangle_index(csr: CSRGraph, m: int):
+    """Materialize the edge->triangle incidence index (numpy).
 
-    The vectorized analogue of the bin-sorted peel, in the
-    shared-memory style of Kabir & Madduri's truss decomposition: at
-    level ``k``, *every* live edge with support <= k-2 is popped in one
-    wave; destroying their still-live triangles (``tdead`` dedupes
-    triangles reached from two frontier edges) decrements the surviving
-    partner edges in bulk, and whichever of those fall to the floor
-    form the next wave of the same level.  Supports stay *exact* —
-    each triangle decrements its partners exactly once, when its first
-    edge pops — so no clamping is needed and the result is the same
-    unique trussness map the sequential peel produces.
-
-    Costs O(|△G|) extra memory for the materialized triangle index —
-    the classic time/space trade of shared-memory truss codes; the
-    wedge-closing peel below is the frugal fallback.
+    Returns ``(e1, e2, e3, tptr, tinc, sup)``: three parallel edge-id
+    columns (one slot per triangle), the CSR-style incidence pointers
+    ``tptr`` with slot array ``tinc`` (``tinc[tptr[e]:tptr[e+1]]`` are
+    the triangle ids containing edge ``e``), and the initial supports
+    (each edge's incidence count).  This is the O(|△G|) structure both
+    the serial wave peel and the shared-memory parallel peel run over.
     """
     e1, e2, e3 = _triangles_numpy(csr)
     n_tri = len(e1)
@@ -250,38 +247,173 @@ def _peel_waves(csr: CSRGraph, m: int) -> Tuple[array, int]:
     tinc = _np.tile(_np.arange(n_tri, dtype=_np.int64), 3)[
         _np.argsort(inc_edge, kind="stable")
     ]
-    tdead = _np.zeros(n_tri, dtype=bool)
-    alive = _np.ones(m, dtype=bool)
+    return e1, e2, e3, tptr, tinc, sup
+
+
+def initial_supports(csr: CSRGraph) -> array:
+    """Support of every edge, indexed by canonical edge id.
+
+    The flat substrate's triangle-counting pass, exposed for reuse (the
+    semi-external baseline's support init rides it): vectorized
+    compact-forward listing with numpy, the merge-intersection pass
+    without.
+    """
+    m = csr.num_edges
+    if _np is not None and m:
+        e1, e2, e3 = _triangles_numpy(csr)
+        sup = _np.bincount(_np.concatenate((e1, e2, e3)), minlength=m)
+        return array("q", sup.astype(_np.int64).tobytes())
+    return _initial_supports_python(csr, m)
+
+
+def _collect_hits_arrays(tptr, tinc, tdead, frontier):
+    """Still-live triangles destroyed by popping ``frontier``'s edges.
+
+    The gather step of a wave: one incidence window per frontier edge,
+    filtered against ``tdead``, deduped.  Shared verbatim by the serial
+    wave peel and the parallel workers (which call it on their
+    shared-memory views with their slice of the frontier).
+    """
+    if not frontier.size:
+        return _np.zeros(0, dtype=_np.int64)
+    cnt = tptr[frontier + 1] - tptr[frontier]
+    total = int(cnt.sum())
+    if total == 0:
+        return _np.zeros(0, dtype=_np.int64)
+    ends = _np.cumsum(cnt)
+    offs = _np.arange(total, dtype=_np.int64) - _np.repeat(ends - cnt, cnt)
+    slots = _np.repeat(tptr[frontier], cnt) + offs
+    hit = tinc[slots]
+    return _np.unique(hit[~tdead[hit]])
+
+
+def _count_decrements_arrays(e1, e2, e3, alive, hit):
+    """Decrement buffer ``(edge ids, counts)`` for destroyed triangles.
+
+    The scatter half of a wave: each dead triangle decrements its
+    still-alive partner edges once.  Also shared between the serial
+    peel and the parallel workers.
+    """
+    if not hit.size:
+        empty = _np.zeros(0, dtype=_np.int64)
+        return empty, empty
+    partners = _np.concatenate((e1[hit], e2[hit], e3[hit]))
+    partners = partners[alive[partners]]
+    return _np.unique(partners, return_counts=True)
+
+
+def run_wave_peel(
+    m: int,
+    views,
+    collect,
+    decrement,
+    split_frontier=None,
+    split_hits=None,
+    run_map=None,
+):
+    """The level-synchronous wave peel, generic over its execution map.
+
+    ``views`` holds the peel state (``sup``/``alive``/``tdead`` numpy
+    arrays — local or shared-memory, the loop cannot tell).  Each wave
+    runs ``collect`` over ``split_frontier(frontier)`` and
+    ``decrement`` over ``split_hits(hit)`` through ``run_map``; with
+    the defaults (identity split, inline map) this *is* the serial
+    peel, and :mod:`repro.core.parallel` passes a worker pool's ``map``
+    plus range partitioners to fan the same schedule out — one loop,
+    one invariant, bit-identical results either way.
+
+    At level ``k``, every live edge with support <= k-2 pops in one
+    wave (Kabir & Madduri's shared-memory style; supports stay *exact*:
+    each triangle decrements its partners once, when its first edge
+    pops, with ``np.unique`` deduping triangles reached from several
+    frontier edges — across partitions too).  The level floor is
+    tracked incrementally: ``hist`` counts alive edges per support
+    value and is updated on every pop and decrement, so finding the
+    next non-empty level is a monotone pointer advance instead of an
+    ``O(m)`` ``sup[alive].min()`` re-mask per level.
+
+    Returns ``(phi, k, wave_stats)``.
+    """
+    identity = lambda x: [x]  # noqa: E731
+    split_frontier = split_frontier or identity
+    split_hits = split_hits or identity
+    if run_map is None:
+        run_map = lambda fn, parts: [fn(p) for p in parts]  # noqa: E731
+    sup, alive, tdead = views["sup"], views["alive"], views["tdead"]
     phi = _np.zeros(m, dtype=_np.int64)
+    # alive-support histogram; supports only decrease, so its length is
+    # fixed at the initial maximum and the floor pointer never retreats
+    hist = _np.bincount(sup)
+    floor = 0
     k = 2
     remaining = m
+    waves = levels = max_wave = 0
     while remaining:
-        floor = int(sup[alive].min())
+        while hist[floor] == 0:
+            floor += 1
         if floor + 2 > k:
             k = floor + 2
+        levels += 1
         frontier = _np.flatnonzero(alive & (sup <= k - 2))
         while frontier.size:
+            waves += 1
+            max_wave = max(max_wave, int(frontier.size))
             phi[frontier] = k
             alive[frontier] = False
-            remaining -= frontier.size
-            cnt = tptr[frontier + 1] - tptr[frontier]
-            total = int(cnt.sum())
-            if total == 0:
-                break
-            # gather the frontier's incidence slots: one window per edge
-            ends = _np.cumsum(cnt)
-            offs = _np.arange(total, dtype=_np.int64) - _np.repeat(
-                ends - cnt, cnt
+            remaining -= int(frontier.size)
+            _np.subtract.at(hist, sup[frontier], 1)
+            # gather: destroyed-triangle candidates per partition, with
+            # a cross-partition dedupe (one partition needs none)
+            hits = run_map(collect, split_frontier(frontier))
+            hit = hits[0] if len(hits) == 1 else _np.unique(
+                _np.concatenate(hits)
             )
-            slots = _np.repeat(tptr[frontier], cnt) + offs
-            hit = tinc[slots]
-            hit = _np.unique(hit[~tdead[hit]])  # destroyed this wave
+            if hit.size == 0:
+                break
             tdead[hit] = True
-            partners = _np.concatenate((e1[hit], e2[hit], e3[hit]))
-            partners = partners[alive[partners]]
-            _np.subtract.at(sup, partners, 1)
-            touched = _np.unique(partners)
-            frontier = touched[sup[touched] <= k - 2]
+            # scatter: per-partition decrement buffers, merged exactly
+            buffers = run_map(decrement, split_hits(hit))
+            if len(buffers) == 1:
+                touched, dec = buffers[0]
+            else:
+                ids = _np.concatenate([b[0] for b in buffers])
+                cnts = _np.concatenate([b[1] for b in buffers])
+                touched, inv = _np.unique(ids, return_inverse=True)
+                dec = _np.bincount(
+                    inv, weights=cnts, minlength=len(touched)
+                ).astype(_np.int64)
+            old = sup[touched]
+            new = old - dec
+            sup[touched] = new
+            _np.subtract.at(hist, old, 1)
+            _np.add.at(hist, new, 1)
+            frontier = touched[new <= k - 2]
+    return phi, k, {"waves": waves, "levels": levels, "max_wave": max_wave}
+
+
+def _peel_waves(csr: CSRGraph, m: int) -> Tuple[array, int]:
+    """Serial wave peeling over the triangle index (numpy).
+
+    :func:`run_wave_peel` with the identity map — see its docstring
+    for the algorithm.  Costs O(|△G|) extra memory for the
+    materialized triangle index — the classic time/space trade of
+    shared-memory truss codes; the wedge-closing peel below is the
+    frugal fallback.
+    """
+    e1, e2, e3, tptr, tinc, sup = _triangle_index(csr, m)
+    views = {
+        "sup": sup,
+        "alive": _np.ones(m, dtype=bool),
+        "tdead": _np.zeros(len(e1), dtype=bool),
+    }
+    phi, k, _stats = run_wave_peel(
+        m,
+        views,
+        lambda f: _collect_hits_arrays(tptr, tinc, views["tdead"], f),
+        lambda h: _count_decrements_arrays(
+            e1, e2, e3, views["alive"], h
+        ),
+    )
     return array("q", phi.tobytes()), k
 
 
@@ -383,17 +515,21 @@ def _peel_wedge_bisect(
     return phi, k
 
 
-def truss_decomposition_flat(g: Graph) -> TrussDecomposition:
-    """Run Algorithm 2 on ``g`` (not modified) over flat edge arrays."""
-    csr = CSRGraph.from_graph(g)
+def _as_csr(g) -> CSRGraph:
+    """Accept either a mutable :class:`Graph` or a ready CSR snapshot.
+
+    Passing a :class:`CSRGraph` (e.g. from the streaming file ingest)
+    skips the dict-of-set round trip entirely.
+    """
+    return g if isinstance(g, CSRGraph) else CSRGraph.from_graph(g)
+
+
+def result_from_phi(
+    csr: CSRGraph, phi: array, k: int, stats: DecompositionStats
+) -> TrussDecomposition:
+    """Package an edge-id-indexed ``phi`` array as a decomposition."""
     eu, ev = csr.edge_endpoints()
     m = len(eu)
-    stats = DecompositionStats(method="flat")
-    if _np is not None and m:
-        phi, k = _peel_waves(csr, m)
-    else:
-        sup = _initial_supports_python(csr, m)
-        phi, k = _peel_wedge_bisect(csr, m, sup, eu, ev)
     stats.record("kmax", k if m else 2)
     # labels ascend, eu[e] < ev[e], phi >= 2: keys are canonical already
     labels = csr.labels
@@ -401,3 +537,21 @@ def truss_decomposition_flat(g: Graph) -> TrussDecomposition:
         {(labels[eu[e]], labels[ev[e]]): phi[e] for e in range(m)},
         stats=stats,
     )
+
+
+def truss_decomposition_flat(g) -> TrussDecomposition:
+    """Run Algorithm 2 over flat edge arrays.
+
+    ``g`` may be a :class:`Graph` (snapshotted, not modified) or a
+    :class:`CSRGraph` built by the streaming ingest.
+    """
+    csr = _as_csr(g)
+    m = csr.num_edges
+    stats = DecompositionStats(method="flat")
+    if _np is not None and m:
+        phi, k = _peel_waves(csr, m)
+    else:
+        sup = _initial_supports_python(csr, m)
+        eu, ev = csr.edge_endpoints()
+        phi, k = _peel_wedge_bisect(csr, m, sup, eu, ev)
+    return result_from_phi(csr, phi, k if m else 2, stats)

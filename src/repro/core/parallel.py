@@ -1,0 +1,300 @@
+"""Parallel level-synchronous wave peeling over shared-memory flat arrays.
+
+``truss_decomposition_parallel`` runs the same wave peel as
+:func:`repro.core.flat._peel_waves` — identical trussness map, bit for
+bit — but fans each wave's frontier out over a persistent pool of
+worker processes, in the shared-memory style of Kabir & Madduri's PKT
+(arXiv:1707.02000); the level-synchronous frontier structure also
+matches Jakkula & Karypis's batch formulation (arXiv:1908.10550).
+
+Layout
+------
+The O(|△G|) triangle index (``e1``/``e2``/``e3`` edge columns, the
+``tptr``/``tinc`` edge->triangle incidence), the support array and the
+``alive``/``tdead`` bitmaps live in :mod:`multiprocessing.shared_memory`
+blocks wrapped as numpy views, so workers attach once (pool
+initializer) and never receive more than their slice of the current
+frontier over the IPC channel.
+
+Wave protocol
+-------------
+Each wave is two synchronous phases over the pool:
+
+1. **collect** — the frontier, already sorted by edge id, is
+   partitioned into contiguous edge-id ranges (balanced by incidence
+   count); each worker gathers its edges' incidence slots and returns
+   the still-live triangle ids it destroyed.  The coordinator unions
+   the per-partition candidates (``np.unique`` dedupes triangles
+   reached from two frontier edges in different partitions) and marks
+   them dead — the cross-partition analogue of the serial ``tdead``
+   dedupe, so supports stay *exact*, never clamped;
+2. **decrement** — the dead-triangle list is range-partitioned; each
+   worker emits a per-partition decrement buffer ``(edge ids, counts)``
+   for the surviving partner edges, and the coordinator merges the
+   buffers with one bincount reduction, updates supports and the
+   alive-support histogram, and gathers the next frontier from the
+   touched edges that fell to the floor.
+
+Because both phases are barriers, workers only ever read blocks the
+coordinator is not writing in that phase; no locks are needed.
+
+``jobs=1`` executes the identical protocol in-process (no pool, no
+shared-memory copies), which is also the fallback when the graph is
+too small for process fan-out to pay (see ``_resolve_jobs``).  Without
+numpy the method degrades to the stdlib flat engine — same result,
+``stdlib_fallback`` recorded in the stats.
+
+Scaling expectations: each wave costs two IPC round trips, so speedup
+appears once waves are large (massive graphs, small kmax) and cores
+are real; on a single-core container or CI runner the pool can only
+add overhead — ``benchmarks/bench_ablation_parallel_scaling.py``
+measures exactly where the crossover lands and records it in
+``BENCH_parallel.json``.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.decomposition import DecompositionStats, TrussDecomposition
+from repro.core.flat import (
+    _as_csr,
+    _collect_hits_arrays,
+    _count_decrements_arrays,
+    _initial_supports_python,
+    _peel_wedge_bisect,
+    _triangle_index,
+    result_from_phi,
+    run_wave_peel,
+)
+from repro.graph.csr import CSRGraph
+
+try:  # optional accelerator; the stdlib fallback degrades to core.flat
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+try:
+    import multiprocessing as _mp
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - CPython always ships it
+    _mp = None
+    _shm = None
+
+#: below this edge count, ``jobs=None`` resolves to a serial run — the
+#: per-wave IPC round trips dominate any fan-out win on small graphs
+_MIN_PARALLEL_EDGES = 50_000
+
+#: worker-side state: name -> numpy view over an attached shm block
+_WORKER_VIEWS: Dict[str, object] = {}
+
+
+def _resolve_jobs(jobs: Optional[int], m: int) -> int:
+    """An explicit ``jobs`` is honored exactly; ``None`` is heuristic."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    if m < _MIN_PARALLEL_EDGES:
+        return 1
+    return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+def _attach_worker(spec: Dict[str, Tuple[str, tuple, str]]) -> None:
+    """Pool initializer: map every shared block as a numpy view.
+
+    Attaching must not register the blocks with the worker's resource
+    tracker: the coordinator owns their lifetime, and a worker-side
+    registration would either double-unregister (fork start method,
+    where the tracker process is shared) or unlink-on-worker-exit
+    (spawn).  Python 3.13 has ``track=False`` for this; here the
+    registration is suppressed for the duration of the attach.
+    """
+    from multiprocessing import resource_tracker
+
+    _WORKER_VIEWS.clear()
+    segments = []
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda name, rtype: None
+    try:
+        for name, (shm_name, shape, dtype) in spec.items():
+            seg = _shm.SharedMemory(name=shm_name)
+            segments.append(seg)
+            _WORKER_VIEWS[name] = _np.ndarray(
+                shape, dtype=dtype, buffer=seg.buf
+            )
+    finally:
+        resource_tracker.register = original_register
+    _WORKER_VIEWS["_segments"] = segments  # keep the mappings alive
+
+
+def _collect_hits(frontier):
+    """Phase 1 (in a worker): destroyed triangles for a frontier slice.
+
+    A picklable module-level shim over the shared gather logic in
+    :func:`repro.core.flat._collect_hits_arrays`, reading the
+    shared-memory views this worker attached at pool init.
+    """
+    views = _WORKER_VIEWS
+    return _collect_hits_arrays(
+        views["tptr"], views["tinc"], views["tdead"], frontier
+    )
+
+
+def _count_decrements(hit):
+    """Phase 2 (in a worker): the decrement buffer for a triangle slice."""
+    views = _WORKER_VIEWS
+    return _count_decrements_arrays(
+        views["e1"], views["e2"], views["e3"], views["alive"], hit
+    )
+
+
+# ---------------------------------------------------------------------------
+# coordinator side
+# ---------------------------------------------------------------------------
+def _split_weighted(frontier, tptr, jobs: int) -> List:
+    """Contiguous edge-id-range partition, balanced by incidence count."""
+    if jobs <= 1 or frontier.size <= 1:
+        return [frontier]
+    weight = (tptr[frontier + 1] - tptr[frontier]) + 1  # +1: pop cost
+    cum = _np.cumsum(weight)
+    targets = cum[-1] * _np.arange(1, jobs, dtype=_np.float64) / jobs
+    cuts = _np.searchsorted(cum, targets)
+    return _np.split(frontier, cuts)
+
+
+class _SharedBlocks:
+    """Owner of the peel state's shared-memory segments."""
+
+    def __init__(self, arrays: Dict[str, object]) -> None:
+        self.segments = []
+        self.views: Dict[str, object] = {}
+        self.spec: Dict[str, Tuple[str, tuple, str]] = {}
+        try:
+            for name, arr in arrays.items():
+                seg = _shm.SharedMemory(
+                    create=True, size=max(1, arr.nbytes)
+                )
+                self.segments.append(seg)
+                view = _np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+                view[...] = arr
+                self.views[name] = view
+                self.spec[name] = (seg.name, arr.shape, arr.dtype.str)
+        except BaseException:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        for seg in self.segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+
+def _peel_waves_shared(
+    csr: CSRGraph, m: int, jobs: int, stats: DecompositionStats
+) -> Tuple[array, int]:
+    """The wave peel of ``flat``, fanned out over ``jobs`` workers.
+
+    One loop serves both engines — :func:`repro.core.flat.run_wave_peel`
+    — so the wave/level schedule (and therefore the trussness map) is
+    identical by construction.  With ``jobs=1`` the phases run inline
+    on plain local arrays; with ``jobs>1`` the peel state is copied
+    into shared memory once, a persistent pool attaches to it, and
+    every wave is two ``pool.map`` barriers over edge-id-range
+    partitions.
+    """
+    e1, e2, e3, tptr, tinc, sup = _triangle_index(csr, m)
+    n_tri = len(e1)
+    arrays = {
+        "e1": e1,
+        "e2": e2,
+        "e3": e3,
+        "tptr": tptr,
+        "tinc": tinc,
+        "sup": sup,
+        "alive": _np.ones(m, dtype=bool),
+        "tdead": _np.zeros(max(n_tri, 0), dtype=bool),
+    }
+    blocks = None
+    pool = None
+    try:
+        if jobs > 1:
+            blocks = _SharedBlocks(arrays)
+            views = blocks.views
+            pool = _mp.get_context().Pool(
+                processes=jobs,
+                initializer=_attach_worker,
+                initargs=(blocks.spec,),
+            )
+            phi, k, wave_stats = run_wave_peel(
+                m,
+                views,
+                _collect_hits,  # workers read their attached shm views
+                _count_decrements,
+                split_frontier=lambda f: _split_weighted(f, tptr, jobs),
+                split_hits=lambda h: _np.array_split(h, jobs),
+                run_map=pool.map,
+            )
+        else:
+            # inline closures over the local arrays: no pool, no shared
+            # memory, no module globals — plain reentrant numpy
+            phi, k, wave_stats = run_wave_peel(
+                m,
+                arrays,
+                lambda f: _collect_hits_arrays(
+                    tptr, tinc, arrays["tdead"], f
+                ),
+                lambda h: _count_decrements_arrays(
+                    e1, e2, e3, arrays["alive"], h
+                ),
+            )
+        for key, value in wave_stats.items():
+            stats.record(key, value)
+        stats.record("triangles", n_tri)
+        return array("q", phi.tobytes()), k
+    finally:
+        if pool is not None:
+            pool.close()
+            pool.join()
+        if blocks is not None:
+            blocks.close()
+
+
+def truss_decomposition_parallel(g, jobs: Optional[int] = None) -> TrussDecomposition:
+    """Truss-decompose ``g`` with the shared-memory parallel wave peel.
+
+    Args:
+        g: a :class:`~repro.graph.adjacency.Graph` (snapshotted, not
+            modified) or a :class:`CSRGraph` from the streaming ingest.
+        jobs: worker processes.  ``None`` picks ``os.cpu_count()`` for
+            graphs with at least ``_MIN_PARALLEL_EDGES`` edges and a
+            serial in-process run below that; an explicit value is
+            honored exactly (``jobs=1`` forces the serial path).
+
+    Returns the identical trussness map as ``method="flat"`` and
+    ``method="improved"`` — the wave schedule does not depend on the
+    worker count.
+    """
+    csr = _as_csr(g)
+    m = csr.num_edges
+    stats = DecompositionStats(method="parallel")
+    if _np is None or _shm is None:
+        # no vectorized substrate: degrade to the stdlib flat engine
+        stats.record("stdlib_fallback", 1)
+        stats.record("jobs", 1)
+        sup = _initial_supports_python(csr, m)
+        eu, ev = csr.edge_endpoints()
+        phi, k = _peel_wedge_bisect(csr, m, sup, eu, ev)
+        return result_from_phi(csr, phi, k if m else 2, stats)
+    njobs = _resolve_jobs(jobs, m)
+    stats.record("jobs", njobs)
+    if not m:
+        return result_from_phi(csr, array("q"), 2, stats)
+    phi, k = _peel_waves_shared(csr, m, njobs, stats)
+    return result_from_phi(csr, phi, k, stats)

@@ -15,6 +15,13 @@ cache miss is a block read; every non-sequential fetch is a seek.  The
 ablation benchmark contrasts its I/O against TD-bottomup under the same
 memory, which is the paper's whole case for designing scan-based
 algorithms.
+
+Initial supports are the in-memory edge state, so they are computed
+once over the flat CSR/edge-id substrate
+(:func:`repro.core.flat.initial_supports` — merge-intersections, no
+``set`` probe per edge) before the disk-resident peel begins; the peel
+loop itself is untouched, keeping the random-access I/O profile that
+this baseline exists to measure.
 """
 
 from __future__ import annotations
@@ -25,7 +32,9 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.decomposition import DecompositionStats, TrussDecomposition
+from repro.core.flat import initial_supports
 from repro.exio.bufferpool import BufferPool
+from repro.graph.csr import CSRGraph
 from repro.exio.diskgraph import DiskAdjacencyGraph
 from repro.exio.iostats import IOStats
 from repro.exio.memory import MemoryBudget
@@ -89,12 +98,18 @@ def truss_decomposition_semi_external(
 
             # ---- Algorithm 2 semantics over disk-resident adjacency ----
             # in memory: one integer of state per edge (the semi-external
-            # allowance); the adjacency structure itself stays on disk
-            sup: Dict[Edge, int] = {}
-            for u, v in g.edges():
-                nu = adj.neighbors(u)
-                nv = set(adj.neighbors(v))
-                sup[(u, v)] = sum(1 for w in nu if w in nv)
+            # allowance); the adjacency structure itself stays on disk.
+            # That state is initialized over the flat CSR substrate —
+            # one merge-intersection pass over canonical edge ids, not a
+            # set(adj.neighbors(v)) probe per edge against the disk file
+            csr = CSRGraph.from_graph(g)
+            sup_flat = initial_supports(csr)
+            eu, ev = csr.edge_endpoints()
+            labels = csr.labels
+            sup: Dict[Edge, int] = {
+                (labels[eu[e]], labels[ev[e]]): sup_flat[e]
+                for e in range(csr.num_edges)
+            }
 
             phi: Dict[Edge, int] = {}
             remaining = set(sup)

@@ -7,15 +7,28 @@ element.  :class:`CSRGraph` lays the adjacency out in two flat arrays
 adjacency run, enabling merge-style intersections and cache-friendly
 scans.  It is the in-memory analogue of the on-disk adjacency format in
 :mod:`repro.exio.diskgraph`.
+
+Two construction routes:
+
+* :meth:`CSRGraph.from_graph` snapshots a mutable dict-of-set
+  :class:`~repro.graph.adjacency.Graph`;
+* :meth:`CSRGraph.from_edges` / :meth:`CSRGraph.from_edge_list_file`
+  are the **dict-free streaming ingest**: raw ``(u, v)`` pairs (or a
+  SNAP-style text file, parsed in bounded chunks) go straight to the
+  flat arrays — self-loops dropped, duplicates collapsed, vertex ids
+  canonicalized — without ever materializing a ``Graph``.  This is the
+  fast path the decompose-from-file workloads ride
+  (``repro decompose --method flat|parallel``), and it assigns the
+  canonical edge ids as a by-product, so :attr:`eids` is free.
 """
 
 from __future__ import annotations
 
 from array import array
 from bisect import bisect_left
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import EdgeNotFoundError, VertexNotFoundError
+from repro.errors import EdgeNotFoundError, FormatError, VertexNotFoundError
 from repro.graph.adjacency import Graph
 from repro.graph.edges import Edge
 
@@ -23,6 +36,10 @@ try:  # optional accelerator; every code path has a stdlib fallback
     import numpy as _np
 except ImportError:  # pragma: no cover
     _np = None
+
+#: bytes per read of the chunked edge-list file parser (~16 MB; the
+#: uniformity scan allocates a few boolean arrays of this length)
+_INGEST_CHUNK_BYTES = 1 << 24
 
 
 class CSRGraph:
@@ -79,6 +96,167 @@ class CSRGraph:
             array("q", dst[by_row].tobytes()),
             labels,
         )
+
+    # ------------------------------------------------------------------
+    # dict-free streaming ingest
+    @classmethod
+    def from_edges(cls, pairs: Iterable[Tuple[int, int]]) -> "CSRGraph":
+        """Build a CSR graph straight from raw ``(u, v)`` pairs.
+
+        The streaming analogue of ``from_edges_cleaned`` + ``from_graph``
+        with the dict-of-set intermediate cut out: self-loops are
+        dropped, duplicates (in either orientation) collapse to one
+        undirected edge, and vertex ids may be arbitrary non-contiguous
+        integers.  Canonical edge ids are assigned during the build, so
+        :attr:`eids` costs nothing afterwards.
+
+        Vertices that appear only in self-loops are dropped along with
+        the loop, matching ``from_edges_cleaned`` semantics.
+        """
+        if _np is not None:
+            flat = _np.fromiter(
+                (x for uv in pairs for x in uv), dtype=_np.int64
+            )
+            return cls._from_flat_pairs_numpy(flat)
+        return cls._from_pairs_python(pairs)
+
+    @classmethod
+    def from_edge_list_file(
+        cls, path, chunk_bytes: int = _INGEST_CHUNK_BYTES
+    ) -> "CSRGraph":
+        """Parse a SNAP-style text edge list directly into CSR form.
+
+        The file is read in ``chunk_bytes``-sized blocks aligned to line
+        boundaries; with numpy available each block's integer tokens are
+        bulk-converted (``#`` comment lines and blank lines skipped, the
+        first two columns of each row used), so peak memory stays a few
+        multiples of the chunk size plus the output arrays and no
+        per-line Python object churn happens on the hot path.  Without
+        numpy it degrades to the streaming line parser feeding
+        :meth:`from_edges`.
+
+        This is the ingest fast path of ``repro decompose``: on
+        decompose-from-file workloads it replaces the
+        ``read_edge_list`` -> ``from_graph`` route (which pays a full
+        mutable-graph build just to snapshot it) and feeds the flat and
+        parallel engines directly.
+        """
+        from repro.graph.io import iter_edge_list
+
+        if _np is None:
+            return cls.from_edges(iter_edge_list(path))
+        parts: List["_np.ndarray"] = []
+        with open(path, "rb") as f:
+            carry = b""
+            lineno = 0  # newlines consumed, for file-absolute errors
+            while True:
+                blob = f.read(chunk_bytes)
+                if not blob:
+                    break
+                blob = carry + blob
+                cut = blob.rfind(b"\n")
+                if cut < 0:
+                    carry = blob
+                    continue
+                carry = blob[cut + 1 :]
+                block = blob[: cut + 1]
+                chunk = _parse_edge_chunk(block, path, base_lineno=lineno)
+                lineno += block.count(b"\n")
+                if chunk is not None:
+                    parts.append(chunk)
+            if carry:
+                chunk = _parse_edge_chunk(carry, path, base_lineno=lineno)
+                if chunk is not None:
+                    parts.append(chunk)
+        if not parts:
+            return cls(array("q", [0]), array("q"), [])
+        flat = parts[0] if len(parts) == 1 else _np.concatenate(parts)
+        return cls._from_flat_pairs_numpy(flat)
+
+    @classmethod
+    def _from_flat_pairs_numpy(cls, flat: "_np.ndarray") -> "CSRGraph":
+        """Canonicalize/dedupe interleaved ``u0 v0 u1 v1 ...`` pairs."""
+        u, v = flat[0::2], flat[1::2]
+        keep = u != v  # drop self-loops
+        u, v = u[keep], v[keep]
+        if not len(u):
+            return cls(array("q", [0]), array("q"), [])
+        lo = _np.minimum(u, v)
+        hi = _np.maximum(u, v)
+        verts = _np.unique(_np.concatenate((lo, hi)))  # sorted labels
+        n = len(verts)
+        # labels are sorted, so searchsorted IS the original->compact map
+        comp = _np.searchsorted(verts, _np.concatenate((lo, hi)))
+        cl, ch = comp[: len(lo)], comp[len(lo) :]
+        key = cl * n + ch
+        if len(key) > 1 and bool(_np.all(key[1:] > key[:-1])):
+            # already canonical, sorted, duplicate-free (the repo's own
+            # write_edge_list emits exactly this): skip the dedupe sort
+            ukey = key
+        else:
+            ukey = _np.unique(key)  # dedupe; ascending == canonical
+        cu = ukey // n
+        cv = ukey - cu * n
+        src = _np.concatenate((cu, cv))
+        dst = _np.concatenate((cv, cu))
+        by_row = _np.lexsort((dst, src))
+        indptr = _np.zeros(n + 1, dtype=_np.int64)
+        _np.cumsum(_np.bincount(src, minlength=n), out=indptr[1:])
+        # the slot's canonical id is its edge's position among the
+        # sorted unique keys — eids come free with the dedupe
+        m = len(ukey)
+        eids = _np.concatenate(
+            (_np.arange(m, dtype=_np.int64), _np.arange(m, dtype=_np.int64))
+        )[by_row]
+        out = cls(
+            array("q", indptr.tobytes()),
+            array("q", dst[by_row].tobytes()),
+            verts.tolist(),
+        )
+        out._eids = array("q", eids.tobytes())
+        return out
+
+    @classmethod
+    def _from_pairs_python(
+        cls, pairs: Iterable[Tuple[int, int]]
+    ) -> "CSRGraph":
+        """Stdlib ingest: sort-dedupe the pair list, then counting-sort."""
+        raw = [(u, v) if u < v else (v, u) for u, v in pairs if u != v]
+        raw.sort()
+        edges: List[Tuple[int, int]] = []
+        prev = None
+        for e in raw:
+            if e != prev:
+                edges.append(e)
+                prev = e
+        labels = sorted({x for e in edges for x in e})
+        index = {x: i for i, x in enumerate(labels)}
+        n, m = len(labels), len(edges)
+        indptr = array("q", [0]) * (n + 1)
+        for a, b in edges:
+            indptr[index[a] + 1] += 1
+            indptr[index[b] + 1] += 1
+        for i in range(1, n + 1):
+            indptr[i] += indptr[i - 1]
+        fill = array("q", indptr[:-1])
+        indices = array("q", [0]) * (2 * m)
+        eids = array("q", [0]) * (2 * m)
+        # edges ascend in canonical (i, j) order, so each row's slots are
+        # appended already sorted: neighbors below i arrive first (from
+        # edges (x, i), x ascending), then neighbors above (j ascending)
+        for e, (a, b) in enumerate(edges):
+            i, j = index[a], index[b]
+            t = fill[i]
+            indices[t] = j
+            eids[t] = e
+            fill[i] = t + 1
+            t = fill[j]
+            indices[t] = i
+            eids[t] = e
+            fill[j] = t + 1
+        out = cls(indptr, indices, labels)
+        out._eids = eids
+        return out
 
     # ------------------------------------------------------------------
     @property
@@ -214,6 +392,7 @@ class CSRGraph:
             ev.append(j)
         return eu, ev
 
+    # ------------------------------------------------------------------
     def degree_order(self) -> List[int]:
         """Compact ids ordered by (degree, id) ascending.
 
@@ -222,3 +401,100 @@ class CSRGraph:
         every triangle counted exactly once.
         """
         return sorted(range(self.num_vertices), key=lambda i: (self.degree(i), i))
+
+
+def _line_token_counts(chunk: bytes):
+    """Tokens per line of ``chunk``, fully vectorized.
+
+    One pass over the raw bytes: a token starts wherever a
+    non-whitespace byte follows whitespace (or the chunk start), and a
+    cumulative-sum sampled at the newline positions yields every line's
+    token count at C speed — no per-line Python objects.
+    """
+    arr = _np.frombuffer(chunk, dtype=_np.uint8)
+    is_nl = arr == 0x0A
+    is_ws = is_nl | (arr == 0x20) | (arr == 0x09) | (arr == 0x0D)
+    tok_start = ~is_ws
+    tok_start[1:] &= is_ws[:-1]
+    csum = _np.cumsum(tok_start)
+    ends = _np.flatnonzero(is_nl)
+    at_ends = csum[ends]
+    if not chunk.endswith(b"\n"):
+        at_ends = _np.append(at_ends, csum[-1])
+    return _np.diff(at_ends, prepend=0)
+
+
+def _parse_edge_chunk(
+    chunk: bytes, path, base_lineno: int = 0
+) -> Optional["_np.ndarray"]:
+    """Bulk-parse one line-aligned block of a text edge list (numpy).
+
+    Comment (``#``) and blank lines are skipped.  When every data line
+    provably has the same column count (checked with a vectorized
+    per-line token-count scan, so mixed-width rows can never be
+    silently re-paired) the whole block's tokens are converted in one
+    ``fromiter`` sweep, taking the first two columns; anything ragged
+    falls back to a per-line parse with the same semantics and error
+    reporting as :func:`repro.graph.io.iter_edge_list`
+    (``base_lineno`` keeps reported line numbers file-absolute across
+    chunks).  Returns the interleaved ``u0 v0 u1 v1 ...`` int64 array,
+    or ``None`` for a block with no data lines.
+    """
+    original = chunk
+    # peel the leading comment/blank block without touching the body —
+    # SNAP-style files carry their comments as a header, so the common
+    # case never pays a per-line scan
+    while chunk:
+        first = chunk.split(b"\n", 1)[0]
+        if first.strip() and not first.lstrip().startswith(b"#"):
+            break
+        nl = chunk.find(b"\n")
+        if nl < 0:
+            return None
+        chunk = chunk[nl + 1 :]
+    if not chunk.strip():
+        return None
+    has_mid_comments = b"#" in chunk
+    if has_mid_comments:  # rare: full per-line filter
+        lines = [
+            ln
+            for ln in chunk.split(b"\n")
+            if ln.strip() and not ln.lstrip().startswith(b"#")
+        ]
+        if not lines:
+            return None
+        chunk = b"\n".join(lines)
+    per_line = _line_token_counts(chunk)
+    per_line = per_line[per_line > 0]  # blank lines carry no tokens
+    ncols = int(per_line[0]) if per_line.size else 0
+    if ncols >= 2 and bool(_np.all(per_line == ncols)):
+        tokens = chunk.split()
+        try:
+            flat = _np.fromiter(
+                map(int, tokens), dtype=_np.int64, count=len(tokens)
+            )
+        except ValueError:
+            flat = None  # non-integer token: per-line path reports it
+        if flat is not None:
+            if ncols == 2:
+                return flat
+            return flat.reshape(-1, ncols)[:, :2].reshape(-1)
+    # ragged or non-integer block: per-line slow path, exact errors
+    out = array("q")
+    for lineno, ln in enumerate(original.split(b"\n"), start=base_lineno + 1):
+        ln = ln.strip()
+        if not ln or ln.startswith(b"#"):
+            continue
+        parts = ln.split()
+        if len(parts) < 2:
+            raise FormatError(
+                f"{path}:{lineno}: expected 'u v', got {ln.decode(errors='replace')!r}"
+            )
+        try:
+            out.append(int(parts[0]))
+            out.append(int(parts[1]))
+        except ValueError as exc:
+            raise FormatError(f"{path}:{lineno}: non-integer vertex id") from exc
+    if not out:
+        return None
+    return _np.frombuffer(out, dtype=_np.int64).copy()

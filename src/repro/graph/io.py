@@ -8,6 +8,12 @@ Three formats, mirroring what the paper's pipeline needs:
   (the paper's stated storage representation);
 * **binary edge-list** — fixed-width little-endian ``<qq`` records, the
   format the external-memory substrate scans block by block.
+
+These readers build the mutable dict-of-set :class:`Graph`.  For
+decompose-from-file workloads that only need the immutable snapshot,
+:meth:`repro.graph.csr.CSRGraph.from_edge_list_file` parses the same
+text format straight into CSR arrays (chunked, dict-free) — the fast
+path behind ``repro decompose --method flat|parallel``.
 """
 
 from __future__ import annotations

@@ -43,6 +43,42 @@ class TestDecompose:
         assert main(args) == 0
         assert len(out.read_text().strip().splitlines()) == 11
 
+    @pytest.mark.parametrize("method", ["flat", "parallel"])
+    def test_csr_fastpath_methods(self, graph_file, tmp_path, method, capsys):
+        out = tmp_path / "phi.txt"
+        args = ["decompose", str(graph_file), "-o", str(out), "--method", method]
+        if method == "parallel":
+            args += ["--jobs", "2"]
+        assert main(args) == 0
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == 11
+        phi = {}
+        for line in lines:
+            u, v, k = map(int, line.split())
+            phi[(u, v)] = k
+        assert phi[(0, 10)] == 2
+        assert phi[(0, 1)] == 5
+        err = capsys.readouterr().err
+        assert "streaming CSR ingest" in err
+        assert "kmax=5" in err
+
+    def test_jobs_rejected_without_parallel(self, graph_file, capsys):
+        assert main([
+            "decompose", str(graph_file), "--method", "flat", "--jobs", "2",
+        ]) == 2
+        assert "--jobs only applies" in capsys.readouterr().err
+
+    def test_external_flags_rejected_on_fastpath(self, graph_file, capsys):
+        assert main([
+            "decompose", str(graph_file), "--method", "flat", "--top", "3",
+        ]) == 2
+        assert "--top/--memory-fraction" in capsys.readouterr().err
+        assert main([
+            "decompose", str(graph_file), "--method", "parallel",
+            "--memory-fraction", "4",
+        ]) == 2
+        assert "--top/--memory-fraction" in capsys.readouterr().err
+
     def test_top_t(self, graph_file, tmp_path):
         out = tmp_path / "phi.txt"
         assert main([

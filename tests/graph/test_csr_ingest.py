@@ -1,0 +1,193 @@
+"""Tests for the dict-free streaming CSR ingest.
+
+``CSRGraph.from_edges`` / ``from_edge_list_file`` must build exactly
+the snapshot that ``from_edges_cleaned`` -> ``CSRGraph.from_graph``
+builds — same ``indptr``/``indices``/``labels`` *and* the same
+canonical edge ids — while never materializing a ``Graph``: dup edges
+(either orientation), self-loops, comments, blank lines and
+non-contiguous vertex ids all normalize identically, through both the
+numpy and the stdlib paths.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+import repro.graph.csr as csr_mod
+from repro.core import truss_decomposition_flat, truss_decomposition_improved
+from repro.errors import FormatError
+from repro.graph import (
+    CSRGraph,
+    Graph,
+    from_edges_cleaned,
+    read_edge_list,
+    write_edge_list,
+)
+
+from helpers import small_edge_lists
+
+MESSY_PAIRS = [
+    (1000, 7),
+    (7, 52),
+    (52, 1000),
+    (3, 1000),
+    (1000, 3),  # duplicate, reversed orientation
+    (7, 1000),  # duplicate, reversed orientation
+    (5, 5),  # self-loop (vertex 5 must vanish entirely)
+    (52, 7),  # duplicate, reversed orientation
+]
+
+MESSY_FILE = """\
+# SNAP-style header comment
+# n=4 m=5
+1000 7
+7 52
+
+52 1000
+  # an indented mid-file comment
+3 1000
+1000 3
+5 5
+52 7
+"""
+
+
+def _reference(pairs) -> CSRGraph:
+    g, _report = from_edges_cleaned(pairs)
+    return CSRGraph.from_graph(g)
+
+
+def _assert_same_snapshot(csr: CSRGraph, ref: CSRGraph) -> None:
+    assert csr.labels == ref.labels
+    assert list(csr.indptr) == list(ref.indptr)
+    assert list(csr.indices) == list(ref.indices)
+    assert list(csr.eids) == list(ref.eids)
+
+
+@pytest.fixture(params=["accelerated", "stdlib"])
+def ingest_mode(request, monkeypatch):
+    """Run each test through both the numpy and the stdlib ingest."""
+    if request.param == "stdlib":
+        monkeypatch.setattr(csr_mod, "_np", None)
+    return request.param
+
+
+class TestFromEdges:
+    def test_messy_pairs_roundtrip(self, ingest_mode):
+        csr = CSRGraph.from_edges(MESSY_PAIRS)
+        _assert_same_snapshot(csr, _reference(MESSY_PAIRS))
+        assert csr.labels == [3, 7, 52, 1000]  # non-contiguous, 5 gone
+        assert csr.num_edges == 4
+
+    def test_empty(self, ingest_mode):
+        csr = CSRGraph.from_edges([])
+        assert csr.num_vertices == 0
+        assert csr.num_edges == 0
+
+    def test_only_self_loops(self, ingest_mode):
+        csr = CSRGraph.from_edges([(1, 1), (2, 2)])
+        assert csr.num_vertices == 0
+        assert csr.num_edges == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_edge_lists())
+    def test_matches_from_graph_property(self, edges):
+        _assert_same_snapshot(CSRGraph.from_edges(edges), _reference(edges))
+
+    def test_eids_prebuilt_no_lazy_pass(self, ingest_mode):
+        csr = CSRGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        assert csr._eids is not None  # ingest assigns ids as a by-product
+        assert sorted(csr.eids) == [0, 0, 1, 1, 2, 2]
+
+
+class TestFromEdgeListFile:
+    def test_messy_file_roundtrip(self, ingest_mode, tmp_path):
+        path = tmp_path / "messy.txt"
+        path.write_text(MESSY_FILE)
+        csr = CSRGraph.from_edge_list_file(path)
+        _assert_same_snapshot(csr, CSRGraph.from_graph(read_edge_list(path)))
+        assert csr.labels == [3, 7, 52, 1000]
+
+    def test_tiny_chunks_hit_carry_logic(self, tmp_path):
+        path = tmp_path / "messy.txt"
+        path.write_text(MESSY_FILE)
+        ref = CSRGraph.from_edge_list_file(path)
+        for chunk_bytes in (1, 7, 16):
+            csr = CSRGraph.from_edge_list_file(path, chunk_bytes=chunk_bytes)
+            _assert_same_snapshot(csr, ref)
+
+    def test_no_trailing_newline(self, ingest_mode, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1 2\n2 3")
+        csr = CSRGraph.from_edge_list_file(path)
+        assert sorted(csr.edges_original()) == [(1, 2), (2, 3)]
+
+    def test_extra_columns_use_first_two(self, ingest_mode, tmp_path):
+        path = tmp_path / "weighted.txt"
+        path.write_text("1 2 0.5\n2 3 1.25\n")
+        csr = CSRGraph.from_edge_list_file(path)
+        assert sorted(csr.edges_original()) == [(1, 2), (2, 3)]
+
+    def test_comment_only_file(self, ingest_mode, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing here\n\n")
+        csr = CSRGraph.from_edge_list_file(path)
+        assert csr.num_vertices == 0
+        assert csr.num_edges == 0
+
+    def test_short_line_raises(self, ingest_mode, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2\n3\n")
+        with pytest.raises(FormatError):
+            CSRGraph.from_edge_list_file(path)
+
+    def test_non_integer_raises(self, ingest_mode, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2\nfoo bar\n")
+        with pytest.raises(FormatError):
+            CSRGraph.from_edge_list_file(path)
+
+    def test_ragged_columns_never_repaired(self, ingest_mode, tmp_path):
+        # token total divisible by the first line's width must NOT let
+        # the bulk path re-pair rows: '3 4 5 6' is one edge (3, 4), and
+        # a phantom (5, 6) would silently change the decomposed graph
+        path = tmp_path / "ragged.txt"
+        path.write_text("1 2\n3 4 5 6\n")
+        csr = CSRGraph.from_edge_list_file(path)
+        assert sorted(csr.edges_original()) == [(1, 2), (3, 4)]
+
+    def test_mixed_width_valid_rows(self, ingest_mode, tmp_path):
+        path = tmp_path / "mixed.txt"
+        path.write_text("1 2 3\n4 5\n6 7 8 9\n")  # first two columns each
+        csr = CSRGraph.from_edge_list_file(path)
+        assert sorted(csr.edges_original()) == [(1, 2), (4, 5), (6, 7)]
+
+    def test_error_lineno_is_file_absolute(self, ingest_mode, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# header\n1 2\n2 3\nbroken\n")
+        with pytest.raises(FormatError, match=r"bad\.txt:4"):
+            CSRGraph.from_edge_list_file(path)
+
+    def test_error_lineno_across_chunks(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2\n2 3\n3 4\n4 5\nbroken\n")
+        with pytest.raises(FormatError, match=r"bad\.txt:5"):
+            CSRGraph.from_edge_list_file(path, chunk_bytes=8)
+
+    def test_matches_write_edge_list_roundtrip(self, ingest_mode, tmp_path):
+        g = Graph([(0, 1), (1, 2), (0, 2), (2, 3), (9, 2)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)  # canonical sorted output + header
+        _assert_same_snapshot(
+            CSRGraph.from_edge_list_file(path), CSRGraph.from_graph(g)
+        )
+
+
+class TestEndToEnd:
+    def test_file_to_trussness_matches_graph_route(self, tmp_path):
+        from helpers import random_graph
+
+        g = random_graph(40, 0.2, seed=33)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        td = truss_decomposition_flat(CSRGraph.from_edge_list_file(path))
+        assert td == truss_decomposition_improved(read_edge_list(path))
