@@ -14,7 +14,9 @@ Every command reads/writes the SNAP-style text edge-list format.
 ``decompose --method flat|parallel`` takes the ingest fast path: the
 file is streamed straight into CSR arrays (no dict-of-set graph build)
 and handed to the flat or parallel engine; ``--jobs N`` sets the
-parallel engine's worker-process count.
+parallel engine's worker-process count and ``--shards dynamic|static``
+picks between the per-wave frontier split and the static
+owner-computes edge-id shards.
 """
 
 from __future__ import annotations
@@ -53,13 +55,14 @@ def _budget(g: Graph, fraction: Optional[int]) -> Optional[MemoryBudget]:
 
 
 def cmd_decompose(args: argparse.Namespace) -> int:
-    if args.jobs is not None and args.method != "parallel":
-        print(
-            f"error: --jobs only applies to --method parallel "
-            f"(got --method {args.method})",
-            file=sys.stderr,
-        )
-        return 2
+    for flag, value in (("--jobs", args.jobs), ("--shards", args.shards)):
+        if value is not None and args.method != "parallel":
+            print(
+                f"error: {flag} only applies to --method parallel "
+                f"(got --method {args.method})",
+                file=sys.stderr,
+            )
+            return 2
     if args.method in CSR_METHODS and (
         args.top is not None or args.memory_fraction is not None
     ):
@@ -83,7 +86,9 @@ def cmd_decompose(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         start = time.perf_counter()
-        td = truss_decomposition(csr, method=args.method, jobs=args.jobs)
+        td = truss_decomposition(
+            csr, method=args.method, jobs=args.jobs, shards=args.shards
+        )
         elapsed = time.perf_counter() - start
     else:
         g = _load(args.input)
@@ -197,6 +202,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for --method parallel (default: auto — "
             "serial on small graphs, one per core otherwise)"
+        ),
+    )
+    p.add_argument(
+        "--shards",
+        default=None,
+        choices=["dynamic", "static"],
+        help=(
+            "frontier partitioning for --method parallel: 'dynamic' "
+            "re-splits each wave, 'static' fixes incidence-balanced "
+            "edge-id shards owned by one worker for the whole peel "
+            "(default: dynamic)"
         ),
     )
     p.add_argument(

@@ -25,7 +25,9 @@ canonical edge ids — integer arrays instead of dict-of-set adjacency.
 ``parallel`` (see :mod:`repro.core.parallel`) fans the flat engine's
 level-synchronous waves out over a pool of worker processes sharing
 the triangle index through ``multiprocessing.shared_memory``; the
-``jobs`` knob sets the worker count.  Both accept a ready
+``jobs`` knob sets the worker count and ``shards`` picks between the
+per-wave dynamic frontier split and the static owner-computes edge-id
+shards of :mod:`repro.partition.edge_shards`.  Both accept a ready
 :class:`~repro.graph.csr.CSRGraph` in place of a ``Graph``, and
 :func:`decompose_file` feeds them straight from an edge-list file via
 the dict-free streaming ingest.
@@ -72,6 +74,7 @@ def truss_decomposition(
     io_stats: Optional[IOStats] = None,
     top_t: Optional[int] = None,
     jobs: Optional[int] = None,
+    shards: Optional[str] = None,
 ) -> TrussDecomposition:
     """Compute the truss decomposition of ``g``.
 
@@ -88,15 +91,24 @@ def truss_decomposition(
         jobs: with ``method='parallel'``, the worker-process count
             (``None``: auto — serial on small graphs, one worker per
             core otherwise).
+        shards: with ``method='parallel'``, the frontier-partitioning
+            strategy: ``"dynamic"`` (default) re-splits each wave's
+            frontier; ``"static"`` fixes an incidence-balanced edge-id
+            shard per worker for the whole peel (owner-computes).
 
     Returns:
         A :class:`TrussDecomposition`; for ``top_t`` runs it is partial
         (contains only the requested classes).
     """
-    if method != "parallel" and jobs is not None:
-        raise DecompositionError(
-            f"method {method!r} does not accept: jobs"
-        )
+    if method != "parallel":
+        bad = [
+            name for name, value in (("jobs", jobs), ("shards", shards))
+            if value is not None
+        ]
+        if bad:
+            raise DecompositionError(
+                f"method {method!r} does not accept: {', '.join(bad)}"
+            )
     if isinstance(g, CSRGraph) and method not in CSR_METHODS:
         raise DecompositionError(
             f"method {method!r} needs a mutable Graph; CSR snapshots are "
@@ -110,7 +122,7 @@ def truss_decomposition(
         return truss_decomposition_flat(g)
     if method == "parallel":
         _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
-        return truss_decomposition_parallel(g, jobs=jobs)
+        return truss_decomposition_parallel(g, jobs=jobs, shards=shards)
     if method == "baseline":
         _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
         return truss_decomposition_baseline(g)
@@ -162,6 +174,7 @@ def decompose_file(
     method: str = "flat",
     *,
     jobs: Optional[int] = None,
+    shards: Optional[str] = None,
     **kwargs,
 ) -> TrussDecomposition:
     """Truss-decompose an edge-list file, riding the ingest fast path.
@@ -176,11 +189,13 @@ def decompose_file(
     """
     if method in CSR_METHODS:
         csr = CSRGraph.from_edge_list_file(path)
-        return truss_decomposition(csr, method=method, jobs=jobs, **kwargs)
+        return truss_decomposition(
+            csr, method=method, jobs=jobs, shards=shards, **kwargs
+        )
     from repro.graph.io import read_edge_list
 
     return truss_decomposition(
-        read_edge_list(path), method=method, jobs=jobs, **kwargs
+        read_edge_list(path), method=method, jobs=jobs, shards=shards, **kwargs
     )
 
 

@@ -310,6 +310,7 @@ def run_wave_peel(
     split_frontier=None,
     split_hits=None,
     run_map=None,
+    account_ipc: bool = False,
 ):
     """The level-synchronous wave peel, generic over its execution map.
 
@@ -332,6 +333,13 @@ def run_wave_peel(
     next non-empty level is a monotone pointer advance instead of an
     ``O(m)`` ``sup[alive].min()`` re-mask per level.
 
+    With ``account_ipc`` the loop also totals the bytes of every array
+    that crosses ``run_map`` (frontier partitions and triangle slices
+    out, candidate lists and decrement buffers back) — the per-wave
+    message volume of the pooled caller, reported as ``ipc_bytes`` in
+    the wave stats (0 when not accounting: the inline map moves
+    nothing).
+
     Returns ``(phi, k, wave_stats)``.
     """
     identity = lambda x: [x]  # noqa: E731
@@ -348,6 +356,7 @@ def run_wave_peel(
     k = 2
     remaining = m
     waves = levels = max_wave = 0
+    ipc_bytes = 0
     while remaining:
         while hist[floor] == 0:
             floor += 1
@@ -364,7 +373,11 @@ def run_wave_peel(
             _np.subtract.at(hist, sup[frontier], 1)
             # gather: destroyed-triangle candidates per partition, with
             # a cross-partition dedupe (one partition needs none)
-            hits = run_map(collect, split_frontier(frontier))
+            parts = split_frontier(frontier)
+            hits = run_map(collect, parts)
+            if account_ipc:
+                ipc_bytes += sum(int(p.nbytes) for p in parts)
+                ipc_bytes += sum(int(h.nbytes) for h in hits)
             hit = hits[0] if len(hits) == 1 else _np.unique(
                 _np.concatenate(hits)
             )
@@ -372,7 +385,13 @@ def run_wave_peel(
                 break
             tdead[hit] = True
             # scatter: per-partition decrement buffers, merged exactly
-            buffers = run_map(decrement, split_hits(hit))
+            slices = split_hits(hit)
+            buffers = run_map(decrement, slices)
+            if account_ipc:
+                ipc_bytes += sum(int(s.nbytes) for s in slices)
+                ipc_bytes += sum(
+                    int(b[0].nbytes) + int(b[1].nbytes) for b in buffers
+                )
             if len(buffers) == 1:
                 touched, dec = buffers[0]
             else:
@@ -388,7 +407,12 @@ def run_wave_peel(
             _np.subtract.at(hist, old, 1)
             _np.add.at(hist, new, 1)
             frontier = touched[new <= k - 2]
-    return phi, k, {"waves": waves, "levels": levels, "max_wave": max_wave}
+    return phi, k, {
+        "waves": waves,
+        "levels": levels,
+        "max_wave": max_wave,
+        "ipc_bytes": ipc_bytes,
+    }
 
 
 def _peel_waves(csr: CSRGraph, m: int) -> Tuple[array, int]:

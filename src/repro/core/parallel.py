@@ -14,11 +14,18 @@ The O(|△G|) triangle index (``e1``/``e2``/``e3`` edge columns, the
 ``alive``/``tdead`` bitmaps live in :mod:`multiprocessing.shared_memory`
 blocks wrapped as numpy views, so workers attach once (pool
 initializer) and never receive more than their slice of the current
-frontier over the IPC channel.
+frontier over the IPC channel.  Zero-length arrays (a triangle-free
+graph has empty ``e1``/``tinc``/``tdead``) are never backed by a
+shared block at all — each worker materializes its own empty view.
 
-Wave protocol
--------------
-Each wave is two synchronous phases over the pool:
+Wave protocols
+--------------
+Two shard modes share the level/wave schedule (and therefore produce
+the identical trussness map):
+
+``shards="dynamic"`` (the default) re-partitions every wave's frontier
+into fresh contiguous edge-id ranges and keeps all mutable state
+coordinator-merged.  Each wave is two synchronous phases over the pool:
 
 1. **collect** — the frontier, already sorted by edge id, is
    partitioned into contiguous edge-id ranges (balanced by incidence
@@ -35,8 +42,37 @@ Each wave is two synchronous phases over the pool:
    alive-support histogram, and gathers the next frontier from the
    touched edges that fell to the floor.
 
-Because both phases are barriers, workers only ever read blocks the
-coordinator is not writing in that phase; no locks are needed.
+``shards="static"`` is the **owner-computes** layout: a
+:class:`repro.partition.edge_shards.EdgeShardPlan` assigns each
+canonical edge id to exactly one shard *at construction time*
+(contiguous ranges balanced by triangle-incidence weight from
+``tptr``), and shard ``s`` owns the ``sup``/``alive``/``phi`` entries
+of its edge range plus row ``s`` of a per-shard alive-support
+histogram for the whole peel.  The shard-ownership protocol per wave:
+
+1. **collect** — the coordinator routes the sorted frontier through
+   the static bounds (one ``searchsorted``), sending shard ``s`` *only
+   the frontier edges it owns*; the owning task pops them itself
+   (sets ``phi``, clears ``alive``, debits its histogram row) and
+   returns destroyed-triangle candidates, which the coordinator
+   dedupes into ``tdead`` exactly as above;
+2. **decrement** — the coordinator routes each dead triangle to the
+   shard(s) owning its partner edges (deduped per shard, so a triangle
+   decrements each partner exactly once); the owning task applies the
+   decrements to its *own* support slice and histogram row and returns
+   the owned edges that fell to the floor — no coordinator-side
+   bincount merge exists in this mode.  The routed per-shard buffers
+   are precisely the messages a distributed peel would exchange; the
+   coordinator's remaining jobs (triangle dedupe, floor scan over
+   histogram column sums) are the reduction half of that exchange.
+
+Because both phases are barriers, and static-mode tasks write only the
+slices their shard owns, workers never write a block another worker
+(or the coordinator) touches in the same phase; no locks are needed.
+A ``multiprocessing.Pool`` does not pin task ``s`` to OS process
+``s`` — ownership is carried by the task, not the process — but the
+message pattern (who is sent what, who writes what) is exactly the
+owner-computes one.
 
 ``jobs=1`` executes the identical protocol in-process (no pool, no
 shared-memory copies), which is also the fallback when the graph is
@@ -48,8 +84,10 @@ Scaling expectations: each wave costs two IPC round trips, so speedup
 appears once waves are large (massive graphs, small kmax) and cores
 are real; on a single-core container or CI runner the pool can only
 add overhead — ``benchmarks/bench_ablation_parallel_scaling.py``
-measures exactly where the crossover lands and records it in
-``BENCH_parallel.json``.
+measures exactly where the crossover lands, and
+``benchmarks/bench_ablation_static_shards.py`` compares the two shard
+modes' wall time and per-wave IPC bytes (``ipc_bytes`` in the stats)
+in ``BENCH_shards.json``.
 """
 
 from __future__ import annotations
@@ -69,7 +107,9 @@ from repro.core.flat import (
     result_from_phi,
     run_wave_peel,
 )
+from repro.errors import DecompositionError
 from repro.graph.csr import CSRGraph
+from repro.partition.edge_shards import balanced_prefix_cuts, plan_edge_shards
 
 try:  # optional accelerator; the stdlib fallback degrades to core.flat
     import numpy as _np
@@ -87,6 +127,9 @@ except ImportError:  # pragma: no cover - CPython always ships it
 #: per-wave IPC round trips dominate any fan-out win on small graphs
 _MIN_PARALLEL_EDGES = 50_000
 
+#: the frontier-partitioning strategies of the parallel peel
+SHARD_MODES = ("dynamic", "static")
+
 #: worker-side state: name -> numpy view over an attached shm block
 _WORKER_VIEWS: Dict[str, object] = {}
 
@@ -100,10 +143,21 @@ def _resolve_jobs(jobs: Optional[int], m: int) -> int:
     return os.cpu_count() or 1
 
 
+def _resolve_shards(shards: Optional[str]) -> str:
+    """Validate the shard mode (``None`` means the dynamic default)."""
+    if shards is None:
+        return "dynamic"
+    if shards not in SHARD_MODES:
+        raise DecompositionError(
+            f"unknown shards mode {shards!r}; expected one of {SHARD_MODES}"
+        )
+    return shards
+
+
 # ---------------------------------------------------------------------------
 # worker side
 # ---------------------------------------------------------------------------
-def _attach_worker(spec: Dict[str, Tuple[str, tuple, str]]) -> None:
+def _attach_worker(spec: Dict[str, Tuple[Optional[str], tuple, str]]) -> None:
     """Pool initializer: map every shared block as a numpy view.
 
     Attaching must not register the blocks with the worker's resource
@@ -112,6 +166,10 @@ def _attach_worker(spec: Dict[str, Tuple[str, tuple, str]]) -> None:
     where the tracker process is shared) or unlink-on-worker-exit
     (spawn).  Python 3.13 has ``track=False`` for this; here the
     registration is suppressed for the duration of the attach.
+
+    A ``None`` block name marks a zero-length array (no shared block
+    exists — there are no bytes to share); the worker materializes its
+    own empty view.
     """
     from multiprocessing import resource_tracker
 
@@ -121,6 +179,9 @@ def _attach_worker(spec: Dict[str, Tuple[str, tuple, str]]) -> None:
     resource_tracker.register = lambda name, rtype: None
     try:
         for name, (shm_name, shape, dtype) in spec.items():
+            if shm_name is None:
+                _WORKER_VIEWS[name] = _np.zeros(shape, dtype=dtype)
+                continue
             seg = _shm.SharedMemory(name=shm_name)
             segments.append(seg)
             _WORKER_VIEWS[name] = _np.ndarray(
@@ -152,32 +213,101 @@ def _count_decrements(hit):
     )
 
 
+# --- static-shard tasks: ownership travels with the task, and every
+# --- write lands inside the owning shard's slices
+def _static_collect_views(views, task):
+    """Phase 1 (static): the owning shard pops its frontier edges.
+
+    ``task`` is ``(shard, owned_frontier, k)``.  The shard writes only
+    state it owns — its ``phi``/``alive`` entries and histogram row —
+    then gathers the destroyed-triangle candidates from its edges'
+    incidence windows.
+    """
+    s, part, k = task
+    sup = views["sup"]
+    views["phi"][part] = k
+    _np.subtract.at(views["hist"][s], sup[part], 1)
+    views["alive"][part] = False
+    return _collect_hits_arrays(
+        views["tptr"], views["tinc"], views["tdead"], part
+    )
+
+
+def _static_decrement_views(views, task):
+    """Phase 2 (static): the owning shard applies its routed decrements.
+
+    ``task`` is ``(shard, routed_triangles, k)``: the dead triangles
+    with at least one partner edge in this shard, deduped by the
+    router.  The shard decrements its own support slice and histogram
+    row and returns the owned edges that fell to the wave floor — the
+    shard's contribution to the next frontier.
+    """
+    s, tris, k = task
+    bounds = views["shard_bounds"]
+    lo, hi = int(bounds[s]), int(bounds[s + 1])
+    partners = _np.concatenate(
+        (views["e1"][tris], views["e2"][tris], views["e3"][tris])
+    )
+    partners = partners[(partners >= lo) & (partners < hi)]
+    partners = partners[views["alive"][partners]]
+    if not partners.size:
+        return _np.zeros(0, dtype=_np.int64)
+    touched, dec = _np.unique(partners, return_counts=True)
+    sup = views["sup"]
+    old = sup[touched]
+    new = old - dec
+    sup[touched] = new
+    hist_row = views["hist"][s]
+    _np.subtract.at(hist_row, old, 1)
+    _np.add.at(hist_row, new, 1)
+    return touched[new <= k - 2]
+
+
+def _static_collect(task):
+    """Picklable pool entry for :func:`_static_collect_views`."""
+    return _static_collect_views(_WORKER_VIEWS, task)
+
+
+def _static_decrement(task):
+    """Picklable pool entry for :func:`_static_decrement_views`."""
+    return _static_decrement_views(_WORKER_VIEWS, task)
+
+
 # ---------------------------------------------------------------------------
 # coordinator side
 # ---------------------------------------------------------------------------
 def _split_weighted(frontier, tptr, jobs: int) -> List:
-    """Contiguous edge-id-range partition, balanced by incidence count."""
+    """Contiguous edge-id-range partition, balanced by incidence count.
+
+    Same charge and cut rule as the static shard planner — one shared
+    kernel, so the two modes can never drift apart on the cost model.
+    """
     if jobs <= 1 or frontier.size <= 1:
         return [frontier]
-    weight = (tptr[frontier + 1] - tptr[frontier]) + 1  # +1: pop cost
-    cum = _np.cumsum(weight)
-    targets = cum[-1] * _np.arange(1, jobs, dtype=_np.float64) / jobs
-    cuts = _np.searchsorted(cum, targets)
+    cuts = balanced_prefix_cuts(tptr[frontier + 1] - tptr[frontier], jobs)
     return _np.split(frontier, cuts)
 
 
 class _SharedBlocks:
-    """Owner of the peel state's shared-memory segments."""
+    """Owner of the peel state's shared-memory segments.
+
+    Zero-length arrays get no segment (``SharedMemory`` of size 0 is
+    invalid and there is nothing to share anyway); their spec entry
+    carries ``None`` for the block name and workers build their own
+    empty views.
+    """
 
     def __init__(self, arrays: Dict[str, object]) -> None:
         self.segments = []
         self.views: Dict[str, object] = {}
-        self.spec: Dict[str, Tuple[str, tuple, str]] = {}
+        self.spec: Dict[str, Tuple[Optional[str], tuple, str]] = {}
         try:
             for name, arr in arrays.items():
-                seg = _shm.SharedMemory(
-                    create=True, size=max(1, arr.nbytes)
-                )
+                if arr.nbytes == 0:
+                    self.views[name] = arr
+                    self.spec[name] = (None, arr.shape, arr.dtype.str)
+                    continue
+                seg = _shm.SharedMemory(create=True, size=arr.nbytes)
                 self.segments.append(seg)
                 view = _np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
                 view[...] = arr
@@ -196,22 +326,119 @@ class _SharedBlocks:
                 pass
 
 
-def _peel_waves_shared(
-    csr: CSRGraph, m: int, jobs: int, stats: DecompositionStats
-) -> Tuple[array, int]:
-    """The wave peel of ``flat``, fanned out over ``jobs`` workers.
+def run_static_wave_peel(
+    m: int,
+    views,
+    plan,
+    collect,
+    decrement,
+    run_map=None,
+    account_ipc: bool = False,
+):
+    """The owner-computes wave peel over a static edge-shard plan.
 
-    One loop serves both engines — :func:`repro.core.flat.run_wave_peel`
-    — so the wave/level schedule (and therefore the trussness map) is
-    identical by construction.  With ``jobs=1`` the phases run inline
-    on plain local arrays; with ``jobs>1`` the peel state is copied
-    into shared memory once, a persistent pool attaches to it, and
-    every wave is two ``pool.map`` barriers over edge-id-range
-    partitions.
+    The same level/wave schedule as :func:`repro.core.flat.run_wave_peel`
+    — every live edge at or below the floor pops in one wave, supports
+    stay exact via the deduped ``tdead`` — but all mutable edge state
+    (``sup``/``alive``/``phi`` and one histogram row per shard) is
+    written exclusively by the shard that owns the edge range, with the
+    coordinator reduced to routing and triangle dedupe.  ``plan`` is
+    the static :class:`~repro.partition.edge_shards.EdgeShardPlan`
+    (its ``split_sorted`` is the frontier router); ``views`` must hold
+    ``phi`` (int64) and ``hist`` (``(num_shards, max_sup + 1)`` int64)
+    in addition to the peel state, all sliced by the plan's bounds.
+
+    With ``account_ipc``, totals the bytes of every routed array
+    (frontier and triangle slices out, candidates and sub-frontiers
+    back) into the ``ipc_bytes`` wave stat.
+
+    Returns ``(phi, k, wave_stats)`` — ``phi`` is the shared view.
+    """
+    if run_map is None:
+        run_map = lambda fn, tasks: [fn(t) for t in tasks]  # noqa: E731
+    sup, alive, tdead = views["sup"], views["alive"], views["tdead"]
+    e1, e2, e3 = views["e1"], views["e2"], views["e3"]
+    phi, hist = views["phi"], views["hist"]
+    bounds = _np.asarray(plan.bounds, dtype=_np.int64)
+    n_shards = plan.num_shards
+    shard_ids = _np.arange(1, n_shards, dtype=_np.int64)
+    stride = max(len(e1), 1)
+    floor = 0
+    k = 2
+    remaining = m
+    waves = levels = max_wave = 0
+    ipc_bytes = 0
+    while remaining:
+        while not int(hist[:, floor].sum()):
+            floor += 1
+        if floor + 2 > k:
+            k = floor + 2
+        levels += 1
+        frontier = _np.flatnonzero(alive & (sup <= k - 2))
+        while frontier.size:
+            waves += 1
+            max_wave = max(max_wave, int(frontier.size))
+            remaining -= int(frontier.size)
+            # route: each shard is sent only the frontier edges it owns
+            pieces = plan.split_sorted(frontier)
+            tasks = [
+                (s, piece, k)
+                for s, piece in enumerate(pieces)
+                if piece.size
+            ]
+            cands = run_map(collect, tasks)
+            if account_ipc:
+                ipc_bytes += sum(int(t[1].nbytes) for t in tasks)
+                ipc_bytes += sum(int(c.nbytes) for c in cands)
+            hit = cands[0] if len(cands) == 1 else _np.unique(
+                _np.concatenate(cands)
+            )
+            if hit.size == 0:
+                break
+            tdead[hit] = True
+            # route: each dead triangle goes to the owner shard(s) of
+            # its partner edges, once per shard (the unique over
+            # (owner, triangle) keys is the exactly-once guarantee)
+            partners = _np.concatenate((e1[hit], e2[hit], e3[hit]))
+            owner = _np.searchsorted(bounds, partners, side="right") - 1
+            key = _np.unique(owner * stride + _np.tile(hit, 3))
+            owners = key // stride
+            routed = _np.split(
+                key - owners * stride, _np.searchsorted(owners, shard_ids)
+            )
+            tasks = [
+                (s, tris, k)
+                for s, tris in enumerate(routed)
+                if tris.size
+            ]
+            outs = run_map(decrement, tasks)
+            if account_ipc:
+                ipc_bytes += sum(int(t[1].nbytes) for t in tasks)
+                ipc_bytes += sum(int(o.nbytes) for o in outs)
+            # shard outputs are sorted and shard ranges ascend, so the
+            # concatenation is the globally sorted next frontier
+            frontier = (
+                _np.concatenate(outs)
+                if outs
+                else _np.zeros(0, dtype=_np.int64)
+            )
+    return phi, k, {
+        "waves": waves,
+        "levels": levels,
+        "max_wave": max_wave,
+        "ipc_bytes": ipc_bytes,
+    }
+
+
+def _base_arrays(csr: CSRGraph, m: int) -> Dict[str, object]:
+    """The peel state both shard modes share, keyed for the shm spec.
+
+    One layout definition — the triangle index plus ``sup``/``alive``/
+    ``tdead`` — so the two modes can never drift on dtypes, sizing or
+    key names.
     """
     e1, e2, e3, tptr, tinc, sup = _triangle_index(csr, m)
-    n_tri = len(e1)
-    arrays = {
+    return {
         "e1": e1,
         "e2": e2,
         "e3": e3,
@@ -219,32 +446,96 @@ def _peel_waves_shared(
         "tinc": tinc,
         "sup": sup,
         "alive": _np.ones(m, dtype=bool),
-        "tdead": _np.zeros(max(n_tri, 0), dtype=bool),
+        "tdead": _np.zeros(len(e1), dtype=bool),
     }
-    blocks = None
-    pool = None
-    try:
-        if jobs > 1:
-            blocks = _SharedBlocks(arrays)
-            views = blocks.views
-            pool = _mp.get_context().Pool(
-                processes=jobs,
-                initializer=_attach_worker,
-                initargs=(blocks.spec,),
-            )
-            phi, k, wave_stats = run_wave_peel(
+
+
+def _static_arrays(csr: CSRGraph, m: int, jobs: int):
+    """The peel state of the static-shard protocol, ready to share.
+
+    The base layout plus the owner-computes extras: the shard bounds,
+    the sharded ``phi``, and the per-shard alive-support histogram
+    (row ``s`` counts shard ``s``'s live edges by support value; the
+    global histogram is the column sum).  Returns ``(arrays, plan)``
+    — the plan is the coordinator's router, the bounds array its
+    worker-visible twin.
+    """
+    arrays = _base_arrays(csr, m)
+    tptr, sup = arrays["tptr"], arrays["sup"]
+    plan = plan_edge_shards(m, jobs, weights=_np.diff(tptr))
+    height = int(sup.max()) + 1 if m else 1
+    hist = _np.zeros((plan.num_shards, height), dtype=_np.int64)
+    for s, lo, hi in plan.iter_shards():
+        if hi > lo:
+            hist[s] = _np.bincount(sup[lo:hi], minlength=height)
+    arrays["phi"] = _np.zeros(m, dtype=_np.int64)
+    arrays["hist"] = hist
+    arrays["shard_bounds"] = _np.asarray(plan.bounds, dtype=_np.int64)
+    return arrays, plan
+
+
+def _peel_waves_shared(
+    csr: CSRGraph,
+    m: int,
+    jobs: int,
+    shards: str,
+    stats: DecompositionStats,
+) -> Tuple[array, int]:
+    """The wave peel of ``flat``, fanned out over ``jobs`` workers.
+
+    One loop per shard mode serves jobs=1 and jobs>1 alike —
+    :func:`repro.core.flat.run_wave_peel` for the dynamic per-wave
+    split, :func:`run_static_wave_peel` for the owner-computes static
+    plan — so the wave/level schedule (and therefore the trussness
+    map) is identical by construction across modes and worker counts.
+    With ``jobs=1`` the phases run inline on plain local arrays; with
+    ``jobs>1`` the peel state is copied into shared memory once, a
+    persistent pool attaches to it, and every wave is two ``pool.map``
+    barriers.
+    """
+    if shards == "static":
+        arrays, plan = _static_arrays(csr, m, jobs)
+
+        def run_pooled(views, pool):
+            return run_static_wave_peel(
                 m,
                 views,
-                _collect_hits,  # workers read their attached shm views
+                plan,
+                _static_collect,  # workers write their attached views
+                _static_decrement,
+                run_map=pool.map,
+                account_ipc=True,
+            )
+
+        def run_inline():
+            return run_static_wave_peel(
+                m,
+                arrays,
+                plan,
+                lambda t: _static_collect_views(arrays, t),
+                lambda t: _static_decrement_views(arrays, t),
+            )
+    else:
+        arrays = _base_arrays(csr, m)
+        e1, e2, e3 = arrays["e1"], arrays["e2"], arrays["e3"]
+        tptr, tinc = arrays["tptr"], arrays["tinc"]
+
+        def run_pooled(views, pool):
+            return run_wave_peel(
+                m,
+                views,
+                _collect_hits,  # workers read their attached views
                 _count_decrements,
                 split_frontier=lambda f: _split_weighted(f, tptr, jobs),
                 split_hits=lambda h: _np.array_split(h, jobs),
                 run_map=pool.map,
+                account_ipc=True,
             )
-        else:
-            # inline closures over the local arrays: no pool, no shared
-            # memory, no module globals — plain reentrant numpy
-            phi, k, wave_stats = run_wave_peel(
+
+        def run_inline():
+            # inline closures over the local arrays: no pool, no
+            # shared memory, no module globals — plain numpy
+            return run_wave_peel(
                 m,
                 arrays,
                 lambda f: _collect_hits_arrays(
@@ -254,9 +545,23 @@ def _peel_waves_shared(
                     e1, e2, e3, arrays["alive"], h
                 ),
             )
+
+    blocks = None
+    pool = None
+    try:
+        if jobs > 1:
+            blocks = _SharedBlocks(arrays)
+            pool = _mp.get_context().Pool(
+                processes=jobs,
+                initializer=_attach_worker,
+                initargs=(blocks.spec,),
+            )
+            phi, k, wave_stats = run_pooled(blocks.views, pool)
+        else:
+            phi, k, wave_stats = run_inline()
         for key, value in wave_stats.items():
             stats.record(key, value)
-        stats.record("triangles", n_tri)
+        stats.record("triangles", len(arrays["e1"]))
         return array("q", phi.tobytes()), k
     finally:
         if pool is not None:
@@ -266,7 +571,9 @@ def _peel_waves_shared(
             blocks.close()
 
 
-def truss_decomposition_parallel(g, jobs: Optional[int] = None) -> TrussDecomposition:
+def truss_decomposition_parallel(
+    g, jobs: Optional[int] = None, shards: Optional[str] = None
+) -> TrussDecomposition:
     """Truss-decompose ``g`` with the shared-memory parallel wave peel.
 
     Args:
@@ -276,14 +583,22 @@ def truss_decomposition_parallel(g, jobs: Optional[int] = None) -> TrussDecompos
             graphs with at least ``_MIN_PARALLEL_EDGES`` edges and a
             serial in-process run below that; an explicit value is
             honored exactly (``jobs=1`` forces the serial path).
+        shards: frontier-partitioning strategy, one of
+            :data:`SHARD_MODES`.  ``"dynamic"`` (the default) splits
+            each wave's frontier into fresh balanced ranges;
+            ``"static"`` fixes an incidence-balanced edge-id shard per
+            worker up front and runs the owner-computes protocol (see
+            the module docstring).
 
     Returns the identical trussness map as ``method="flat"`` and
-    ``method="improved"`` — the wave schedule does not depend on the
-    worker count.
+    ``method="improved"`` — neither the worker count nor the shard
+    mode changes the wave schedule.
     """
+    mode = _resolve_shards(shards)
     csr = _as_csr(g)
     m = csr.num_edges
     stats = DecompositionStats(method="parallel")
+    stats.record("shards", mode)
     if _np is None or _shm is None:
         # no vectorized substrate: degrade to the stdlib flat engine
         stats.record("stdlib_fallback", 1)
@@ -296,5 +611,5 @@ def truss_decomposition_parallel(g, jobs: Optional[int] = None) -> TrussDecompos
     stats.record("jobs", njobs)
     if not m:
         return result_from_phi(csr, array("q"), 2, stats)
-    phi, k = _peel_waves_shared(csr, m, njobs, stats)
+    phi, k = _peel_waves_shared(csr, m, njobs, mode, stats)
     return result_from_phi(csr, phi, k, stats)

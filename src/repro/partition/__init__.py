@@ -6,6 +6,8 @@ Public surface::
     SequentialPartitioner   greedy in-order packing
     DominatingSetPartitioner  seed-clustered packing
     RandomizedPartitioner   seeded uniform bucketing
+    EdgeShardPartitioner    static contiguous edge-id shards (parallel peel)
+    EdgeShardPlan, plan_edge_shards   the native edge-shard API
     extract_block, iter_block_subgraphs   NS(P_i) materialization
     default_partitioner     the library default (sequential)
 """
@@ -18,6 +20,15 @@ from repro.partition.base import (
     vertex_weight,
 )
 from repro.partition.dominating import DominatingSetPartitioner
+from repro.partition.edge_shards import (
+    EdgeShardError,
+    EdgeShardPartitioner,
+    EdgeShardPlan,
+    balanced_prefix_cuts,
+    edge_shard_source,
+    incidence_weights,
+    plan_edge_shards,
+)
 from repro.partition.extract import extract_block, iter_block_subgraphs
 from repro.partition.randomized import RandomizedPartitioner
 from repro.partition.sequential import SequentialPartitioner
@@ -44,9 +55,11 @@ def partitioner_by_name(name: str, seed: int = 0) -> Partitioner:
         return DominatingSetPartitioner()
     if name == "randomized":
         return RandomizedPartitioner(seed=seed)
+    if name == "edge_shards":
+        return EdgeShardPartitioner()
     raise ValueError(
         f"unknown partitioner {name!r}; expected one of "
-        "'sequential', 'dominating', 'randomized'"
+        "'sequential', 'dominating', 'randomized', 'edge_shards'"
     )
 
 
@@ -59,6 +72,13 @@ __all__ = [
     "SequentialPartitioner",
     "DominatingSetPartitioner",
     "RandomizedPartitioner",
+    "EdgeShardError",
+    "EdgeShardPartitioner",
+    "EdgeShardPlan",
+    "balanced_prefix_cuts",
+    "edge_shard_source",
+    "incidence_weights",
+    "plan_edge_shards",
     "extract_block",
     "iter_block_subgraphs",
     "default_partitioner",

@@ -1,0 +1,274 @@
+"""Static edge-id shard partitioner for owner-computes peeling.
+
+The vertex-cut partitioners in this package slice *vertices* into
+memory-bounded blocks for the paper's external algorithms.  This module
+slices the **canonical edge-id space** ``0..m-1`` into contiguous
+shards balanced by *triangle-incidence weight* — the unit of work a
+peel spends on an edge — so that a worker can own its shard's support/
+alive/histogram slices for an entire decomposition instead of being
+handed a fresh range every wave (see :mod:`repro.core.parallel`,
+``shards="static"``).
+
+Contiguity is deliberate: ownership of a sorted edge-id array is then
+a single ``searchsorted`` against the shard bounds, per-shard routing
+is ``np.split``, and a shard's state is a dense slice of the flat
+arrays, not a gather.  This is the same owner-computes layout PKT-style
+shared-memory truss codes use, and the stepping stone to distributed
+peeling where the routed per-wave buffers become message exchanges.
+
+Two entry points:
+
+* :func:`plan_edge_shards` — the native API: incidence weights in, an
+  immutable :class:`EdgeShardPlan` (the bounds + routing helpers) out;
+* :class:`EdgeShardPartitioner` — the same split exposed through the
+  package's :class:`~repro.partition.base.Partitioner` protocol (items
+  are edge ids, the "degree" of an edge is its triangle incidence), so
+  ``check_partition`` and the budget-driven call sites treat edge
+  shards exactly like vertex blocks.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.exio.memory import MemoryBudget
+from repro.partition.base import Partitioner, PartitionSource
+
+try:  # optional accelerator; every code path has a stdlib fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+class EdgeShardError(ReproError):
+    """An edge-shard plan was requested with invalid parameters."""
+
+
+class EdgeShardPlan:
+    """An immutable contiguous partition of the edge-id space.
+
+    ``bounds`` has ``num_shards + 1`` monotone entries with
+    ``bounds[0] == 0`` and ``bounds[-1] == num_edges``; shard ``s``
+    owns exactly the edge ids ``bounds[s] <= e < bounds[s + 1]``.
+    Every edge id is owned by exactly one shard by construction (shards
+    may be empty when there are more shards than edges).
+    """
+
+    __slots__ = ("bounds",)
+
+    def __init__(self, bounds: Sequence[int]) -> None:
+        if len(bounds) < 2 or bounds[0] != 0:
+            raise EdgeShardError(f"malformed shard bounds: {list(bounds)!r}")
+        for a, b in zip(bounds, list(bounds)[1:]):
+            if b < a:
+                raise EdgeShardError(
+                    f"shard bounds must be monotone, got {list(bounds)!r}"
+                )
+        self.bounds = array("q", bounds)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.bounds) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return self.bounds[-1]
+
+    def range_of(self, s: int) -> Tuple[int, int]:
+        """The half-open edge-id range ``[lo, hi)`` shard ``s`` owns."""
+        return self.bounds[s], self.bounds[s + 1]
+
+    def owner_of(self, eid: int) -> int:
+        """The shard owning edge id ``eid``."""
+        if not 0 <= eid < self.num_edges:
+            raise EdgeShardError(
+                f"edge id {eid} outside 0..{self.num_edges - 1}"
+            )
+        return bisect_right(self.bounds, eid) - 1
+
+    def iter_shards(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(shard, lo, hi)`` for every shard, empties included."""
+        for s in range(self.num_shards):
+            yield (s, self.bounds[s], self.bounds[s + 1])
+
+    def split_sorted(self, eids):
+        """Route a sorted edge-id array into per-shard pieces.
+
+        Returns a list of ``num_shards`` sub-arrays (numpy views when
+        ``eids`` is an ndarray, lists otherwise); piece ``s`` holds the
+        ids shard ``s`` owns, in order.  Input order is preserved, so a
+        globally sorted input yields globally sorted concatenation.
+        """
+        inner = list(self.bounds)[1:-1]
+        if _np is not None and isinstance(eids, _np.ndarray):
+            return _np.split(eids, _np.searchsorted(eids, inner))
+        out: List[List[int]] = []
+        lo = 0
+        seq = list(eids)
+        for b in inner + [self.num_edges]:
+            hi = lo
+            while hi < len(seq) and seq[hi] < b:
+                hi += 1
+            out.append(seq[lo:hi])
+            lo = hi
+        return out
+
+    def shard_loads(self, weights: Sequence[int]) -> List[int]:
+        """Total per-shard weight under ``weights`` (one entry per edge)."""
+        if len(weights) != self.num_edges:
+            raise EdgeShardError(
+                f"{len(weights)} weights for {self.num_edges} edges"
+            )
+        return [
+            sum(weights[lo:hi]) for _s, lo, hi in self.iter_shards()
+        ]
+
+    def blocks(self) -> List[List[int]]:
+        """The plan as base-protocol blocks (lists of owned edge ids).
+
+        Empty shards are dropped, matching the vertex partitioners'
+        output shape; use :meth:`iter_shards` when the shard index
+        matters.
+        """
+        return [
+            list(range(lo, hi))
+            for _s, lo, hi in self.iter_shards()
+            if hi > lo
+        ]
+
+
+def balanced_prefix_cuts(weights, parts: int):
+    """Cut positions splitting ``weights`` into ``parts`` balanced runs.
+
+    The one cost convention both splitters share: item ``i`` is charged
+    ``weights[i] + 1`` (its triangle incidence plus the pop itself), and
+    the cuts are the balanced-prefix positions of the charged cumulative
+    sum, so every run's load is within one max charge of the ideal
+    ``total / parts``.  Used by :func:`plan_edge_shards` for the static
+    shard bounds and by :func:`repro.core.parallel._split_weighted` for
+    the dynamic per-wave frontier split — change the cost model here
+    and both modes stay in lockstep.  Returns the ``parts - 1`` cut
+    indices (an ndarray with numpy, a list without; both paths use the
+    identical first-index-with-cum>=target rule, so a mixed deployment
+    cannot disagree about ownership).
+    """
+    if _np is not None:
+        charged = _np.asarray(weights, dtype=_np.int64) + 1
+        cum = _np.cumsum(charged)
+        targets = cum[-1] * _np.arange(1, parts, dtype=_np.float64) / parts
+        return _np.searchsorted(cum, targets)
+    cum_list: List[int] = []
+    acc = 0
+    for w in weights:
+        acc += int(w) + 1
+        cum_list.append(acc)
+    return [
+        bisect_left(cum_list, acc * s / parts) for s in range(1, parts)
+    ]
+
+
+def incidence_weights(tptr) -> Sequence[int]:
+    """Per-edge triangle-incidence counts from the ``tptr`` pointers.
+
+    ``tptr`` is the CSR-style edge->triangle incidence index built by
+    :func:`repro.core.flat._triangle_index`; the weight of edge ``e``
+    is its incidence window length — the number of triangle slots a
+    peel touches when ``e`` pops.
+    """
+    if _np is not None and not isinstance(tptr, (list, array)):
+        return _np.diff(_np.asarray(tptr))
+    return [tptr[e + 1] - tptr[e] for e in range(len(tptr) - 1)]
+
+
+def plan_edge_shards(
+    m: int, shards: int, weights: Optional[Sequence[int]] = None
+) -> EdgeShardPlan:
+    """Cut ``0..m-1`` into ``shards`` contiguous weight-balanced ranges.
+
+    ``weights`` are per-edge work estimates (triangle-incidence counts
+    in the peel; ``None`` means uniform) and the cuts come from
+    :func:`balanced_prefix_cuts` — the identical charge and cut rule
+    the dynamic per-wave splitter uses — so every shard's load is
+    within one max-edge-charge of the ideal ``total / shards``.  The
+    plan is a pure function of ``(m, shards, weights)`` — every worker
+    of a distributed peel could compute it independently and agree.
+    """
+    if shards < 1:
+        raise EdgeShardError(f"need at least 1 shard, got {shards}")
+    if m < 0:
+        raise EdgeShardError(f"negative edge count {m}")
+    if weights is not None and len(weights) != m:
+        raise EdgeShardError(f"{len(weights)} weights for {m} edges")
+    if m == 0 or shards == 1:
+        return EdgeShardPlan([0] * shards + [m])
+    raw = [0] * m if weights is None else weights
+    cuts = balanced_prefix_cuts(raw, shards)
+    return EdgeShardPlan([0] + [int(c) for c in cuts] + [m])
+
+
+def edge_shard_source(tptr) -> PartitionSource:
+    """A :class:`PartitionSource` over edge ids with incidence degrees.
+
+    The adapter that lets edge shards ride the package's base protocol:
+    the "vertices" are the canonical edge ids and a vertex's "degree"
+    is its triangle incidence, so ``check_partition`` and budget-driven
+    sizing apply unchanged.  Edge-id space has no edge relation of its
+    own, hence the empty scan.
+    """
+    degrees = {
+        e: int(w) for e, w in enumerate(incidence_weights(tptr))
+    }
+    return PartitionSource(degrees=degrees, iter_edges=lambda: iter(()))
+
+
+class EdgeShardPartitioner(Partitioner):
+    """The static edge-id splitter behind the base ``Partitioner`` face.
+
+    ``partition(source, budget)`` treats the source's id space as edge
+    ids (see :func:`edge_shard_source`) and returns the contiguous
+    weight-balanced ranges as blocks.  The shard count is fixed at
+    construction, or — like the vertex partitioners — derived from the
+    budget's partition capacity when left ``None``.  Unlike the vertex
+    partitioners the split is *static by design*: repeated calls return
+    identical bounds (no phase rotation), because ownership must not
+    move between waves.
+    """
+
+    name = "edge_shards"
+
+    def __init__(self, shards: Optional[int] = None) -> None:
+        super().__init__()
+        if shards is not None and shards < 1:
+            raise EdgeShardError(f"need at least 1 shard, got {shards}")
+        self.shards = shards
+
+    def partition(
+        self, source: PartitionSource, budget: MemoryBudget
+    ) -> List[List[int]]:
+        m = source.num_vertices
+        ids = sorted(source.degrees)
+        if ids != list(range(m)):
+            raise EdgeShardError(
+                "edge-shard sources must cover a dense 0..m-1 id space"
+            )
+        weights = [source.degrees[e] for e in ids]
+        if self.shards is not None:
+            n_shards = self.shards
+        else:
+            total = m + sum(weights)
+            n_shards = max(1, -(-total // budget.partition_capacity()))
+        return self.plan(m, n_shards, weights).blocks()
+
+    def plan(
+        self,
+        m: int,
+        shards: Optional[int] = None,
+        weights: Optional[Sequence[int]] = None,
+    ) -> EdgeShardPlan:
+        """The native entry point: a full :class:`EdgeShardPlan`."""
+        n_shards = shards if shards is not None else (self.shards or 1)
+        return plan_edge_shards(m, n_shards, weights)

@@ -62,11 +62,32 @@ class TestDecompose:
         assert "streaming CSR ingest" in err
         assert "kmax=5" in err
 
+    @pytest.mark.parametrize("shards", ["dynamic", "static"])
+    def test_shard_modes(self, graph_file, tmp_path, shards):
+        out = tmp_path / "phi.txt"
+        assert main([
+            "decompose", str(graph_file), "-o", str(out),
+            "--method", "parallel", "--jobs", "2", "--shards", shards,
+        ]) == 0
+        reference = tmp_path / "flat.txt"
+        assert main([
+            "decompose", str(graph_file), "-o", str(reference),
+            "--method", "flat",
+        ]) == 0
+        assert out.read_text() == reference.read_text()
+
     def test_jobs_rejected_without_parallel(self, graph_file, capsys):
         assert main([
             "decompose", str(graph_file), "--method", "flat", "--jobs", "2",
         ]) == 2
         assert "--jobs only applies" in capsys.readouterr().err
+
+    def test_shards_rejected_without_parallel(self, graph_file, capsys):
+        assert main([
+            "decompose", str(graph_file), "--method", "flat",
+            "--shards", "static",
+        ]) == 2
+        assert "--shards only applies" in capsys.readouterr().err
 
     def test_external_flags_rejected_on_fastpath(self, graph_file, capsys):
         assert main([

@@ -23,7 +23,7 @@ from repro.graph import (
     write_edge_list,
 )
 
-from helpers import small_edge_lists
+from helpers import fuzzed_edge_list, small_edge_lists
 
 MESSY_PAIRS = [
     (1000, 7),
@@ -180,6 +180,44 @@ class TestFromEdgeListFile:
         _assert_same_snapshot(
             CSRGraph.from_edge_list_file(path), CSRGraph.from_graph(g)
         )
+
+
+class TestIngestFuzz:
+    """Seeded messy-file fuzzing of the chunked ingest's two contracts.
+
+    For every fuzzed file (comments, blanks, duplicate/reversed/
+    self-loop edges, ragged-but-valid rows, malformed rows — see
+    :func:`helpers.fuzzed_edge_list`) the streaming ingest must either
+    build the exact snapshot of the ``read_edge_list`` route or raise
+    :class:`FormatError` naming the file-absolute line of the *first*
+    malformed row; bulk chunk parsing may never mask, shift or reorder
+    an error, at any chunk size.
+    """
+
+    def _check(self, tmp_path, seed, chunk_bytes=None):
+        text, error_line = fuzzed_edge_list(seed)
+        path = tmp_path / "fuzz.txt"
+        path.write_text(text)
+        kwargs = {} if chunk_bytes is None else {"chunk_bytes": chunk_bytes}
+        if error_line is None:
+            csr = CSRGraph.from_edge_list_file(path, **kwargs)
+            _assert_same_snapshot(
+                csr, CSRGraph.from_graph(read_edge_list(path))
+            )
+        else:
+            with pytest.raises(FormatError, match=rf"fuzz\.txt:{error_line}:"):
+                CSRGraph.from_edge_list_file(path, **kwargs)
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_roundtrip_or_absolute_lineno(self, ingest_mode, seed, tmp_path):
+        self._check(tmp_path, seed)
+
+    @pytest.mark.parametrize("seed", range(0, 40, 3))
+    @pytest.mark.parametrize("chunk_bytes", [7, 23])
+    def test_tiny_chunks_preserve_semantics(self, seed, chunk_bytes, tmp_path):
+        # error lines near chunk boundaries (and inside the final
+        # carry) must still report their file-absolute line number
+        self._check(tmp_path, seed, chunk_bytes=chunk_bytes)
 
 
 class TestEndToEnd:

@@ -13,10 +13,11 @@ that makes this module (and ``oracles``) importable.
 from __future__ import annotations
 
 import random
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from hypothesis import strategies as st
 
+from repro.datasets import erdos_renyi, powerlaw_graph, star_heavy_graph
 from repro.graph import Graph
 
 
@@ -54,3 +55,128 @@ def small_edge_lists(draw, max_vertices: int = 12, max_edges: int = 40):
 def small_graphs(draw, max_vertices: int = 12, max_edges: int = 40):
     """A small random simple graph (possibly empty / disconnected)."""
     return Graph(draw(small_edge_lists(max_vertices, max_edges)))
+
+
+@st.composite
+def peel_graphs(draw, max_vertices: int = 26, max_edges: int = 60):
+    """A random graph from the registry's structural families.
+
+    The cross-method parity property sweeps this: ER (uniform), power
+    law (heavy-tailed, the Wiki/Skitter shape) and star-heavy (a few
+    hubs, the BTC shape) cover very different wave/level schedules —
+    hub graphs peel in a handful of huge waves, ER in many small ones.
+    Sizes stay small enough for the brute-force oracle.
+    """
+    family = draw(st.sampled_from(("er", "powerlaw", "stars")))
+    n = draw(st.integers(min_value=5, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    if family == "er":
+        return erdos_renyi(n, min(m, n * (n - 1) // 2), seed=seed)
+    if family == "powerlaw":
+        return powerlaw_graph(n, m, seed=seed)
+    return star_heavy_graph(n, m, n_hubs=min(3, n - 1), seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# seeded edge-list file fuzzer
+# ---------------------------------------------------------------------------
+#: line kinds the fuzzer draws from, with (weight, is_error) — the mix
+#: leans on valid lines so most seeds produce parseable files
+_FUZZ_KINDS = (
+    ("edge", 30, False),          # plain 'u v'
+    ("dup", 6, False),            # repeat of an earlier edge, maybe flipped
+    ("self_loop", 4, False),      # 'v v' (dropped by the cleaners)
+    ("comment", 6, False),        # '# ...' (sometimes indented)
+    ("blank", 5, False),          # empty or whitespace-only
+    ("extra_cols", 6, False),     # 'u v w ...' — first two columns count
+    ("extra_noninteger", 3, False),  # 'u v x' — trailing junk is ignored
+    ("short", 2, True),           # a single token: no 'v'
+    ("non_integer", 2, True),     # a non-numeric token in column 1 or 2
+)
+
+
+def fuzzed_edge_list(
+    seed: int, n_lines: int = 28
+) -> Tuple[str, Optional[int]]:
+    """A seeded messy edge-list file and its expected first error line.
+
+    Returns ``(text, first_error_lineno)``: the text mixes comments,
+    blank lines, duplicate/reversed/self-loop edges, ragged-but-valid
+    rows (extra columns, including non-integer trailing columns) and —
+    with ``first_error_lineno`` set — genuinely malformed lines (a
+    missing column, a non-integer vertex id).  The contract under test:
+    :meth:`repro.graph.csr.CSRGraph.from_edge_list_file` must either
+    build the same snapshot as the ``read_edge_list`` route or raise
+    :class:`~repro.errors.FormatError` naming the *file-absolute*
+    ``first_error_lineno`` — chunked bulk parsing must never shift,
+    mask or reorder errors.  Only one in three seeds injects errors, so
+    the round-trip side of the contract gets real coverage too.
+    """
+    rng = random.Random(seed)
+    inject_errors = rng.random() < 1 / 3
+    kinds = [k for k in _FUZZ_KINDS if inject_errors or not k[2]]
+    names = [k[0] for k in kinds]
+    weights = [k[1] for k in kinds]
+    lines: List[str] = []
+    edges: List[Tuple[int, int]] = []
+    error_line: Optional[int] = None
+
+    def vid() -> int:
+        # mostly small ids with occasional huge/negative ones so the
+        # canonicalization (non-contiguous labels) is exercised too
+        r = rng.random()
+        if r < 0.8:
+            return rng.randrange(0, 40)
+        if r < 0.95:
+            return rng.randrange(1_000, 1_000_000)
+        return -rng.randrange(1, 50)
+
+    for lineno in range(1, n_lines + 1):
+        kind = rng.choices(names, weights=weights)[0]
+        if kind == "edge" or (kind == "dup" and not edges):
+            u, v = vid(), vid()
+            while u == v:
+                v = vid()
+            edges.append((u, v))
+            lines.append(f"{u} {v}")
+        elif kind == "dup":
+            u, v = rng.choice(edges)
+            if rng.random() < 0.5:
+                u, v = v, u
+            lines.append(f"{u} {v}")
+        elif kind == "self_loop":
+            v = vid()
+            lines.append(f"{v} {v}")
+        elif kind == "comment":
+            pad = " " * rng.randrange(0, 3)
+            lines.append(f"{pad}# fuzz comment {lineno}")
+        elif kind == "blank":
+            lines.append(" " * rng.randrange(0, 3))
+        elif kind == "extra_cols":
+            u, v = vid(), vid() + 1
+            extras = " ".join(
+                str(rng.randrange(100)) for _ in range(rng.randrange(1, 4))
+            )
+            lines.append(f"{u} {v} {extras}")
+            if u != v:
+                edges.append((u, v))
+        elif kind == "extra_noninteger":
+            u, v = vid(), vid() + 1
+            lines.append(f"{u} {v} {rng.choice(('x', '0.5', 'w=3'))}")
+            if u != v:
+                edges.append((u, v))
+        elif kind == "short":
+            lines.append(rng.choice((str(vid()), "lonely")))
+            if error_line is None:
+                error_line = lineno
+        else:  # non_integer
+            bad = rng.choice(("foo", "3.14", "0x1f"))
+            pair = (bad, str(vid())) if rng.random() < 0.5 else (str(vid()), bad)
+            lines.append(" ".join(pair))
+            if error_line is None:
+                error_line = lineno
+    text = "\n".join(lines)
+    if rng.random() < 0.8:
+        text += "\n"
+    return text, error_line

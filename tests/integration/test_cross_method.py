@@ -1,12 +1,16 @@
-"""Cross-method integration tests: all six implementations, one truth.
+"""Cross-method integration tests: every implementation, one truth.
 
 DESIGN.md §5 pins the contract: every method produces the identical
 trussness map, on every graph family, under every memory budget and
-partitioner.  These tests sweep that matrix on mid-sized inputs.
+partitioner.  These tests sweep that matrix on mid-sized inputs, and —
+since the parallel engine grew worker counts and shard modes — promote
+the "identical trussness map" claim from a handful of fixed examples
+to a hypothesis property over randomized ER/powerlaw/star-heavy
+graphs, pinned to the brute-force oracle.
 """
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 
 from repro.core import truss_decomposition
 from repro.cores import core_numbers
@@ -23,7 +27,8 @@ from repro.datasets import (
 from repro.exio import MemoryBudget
 from repro.graph import Graph
 
-from helpers import random_graph, small_edge_lists
+from helpers import peel_graphs, random_graph, small_edge_lists
+from oracles import brute_trussness
 
 FAMILIES = {
     "er": lambda: erdos_renyi(60, 180, seed=71),
@@ -44,6 +49,10 @@ class TestAllMethodsAgree:
         assert truss_decomposition(g, method="flat") == ref
         assert truss_decomposition(g, method="baseline") == ref
         assert truss_decomposition(g, method="mapreduce") == ref
+        assert (
+            truss_decomposition(g, method="parallel", jobs=2, shards="static")
+            == ref
+        )
         for units in (24, 200):
             budget = MemoryBudget(units=units)
             assert (
@@ -54,6 +63,45 @@ class TestAllMethodsAgree:
                 truss_decomposition(g, method="topdown", memory_budget=budget)
                 == ref
             ), f"topdown units={units}"
+
+
+class TestRandomizedParityProperty:
+    """The parity claim as a property, not an example.
+
+    Every hypothesis-generated graph (three structural families with
+    very different wave schedules) is decomposed by the flat engine and
+    by the parallel engine at jobs 1/2/4 in both shard modes, and every
+    map must equal the brute-force oracle bit for bit.  jobs>1 runs
+    spawn real worker pools, so examples are few but each one sweeps
+    the full engine matrix.
+    """
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(peel_graphs())
+    def test_flat_and_parallel_match_brute_oracle(self, g):
+        oracle = brute_trussness(g)
+        flat = truss_decomposition(g, method="flat")
+        assert dict(flat.trussness) == oracle
+        for jobs in (1, 2, 4):
+            for shards in ("dynamic", "static"):
+                td = truss_decomposition(
+                    g, method="parallel", jobs=jobs, shards=shards
+                )
+                assert dict(td.trussness) == oracle, (jobs, shards)
+                assert td == flat, (jobs, shards)
+
+    @settings(max_examples=10, deadline=None)
+    @given(peel_graphs())
+    def test_serial_methods_match_brute_oracle(self, g):
+        """The paper's in-memory pair against the oracle, same sweep."""
+        oracle = brute_trussness(g)
+        for method in ("improved", "baseline"):
+            td = truss_decomposition(g, method=method)
+            assert dict(td.trussness) == oracle, method
 
 
 class TestInvariants:

@@ -1,0 +1,265 @@
+"""Tests for the static edge-id shard partitioner.
+
+The invariants the owner-computes peel relies on: every canonical edge
+id is owned by exactly one shard, shards are contiguous ranges, loads
+are incidence-balanced within the greedy-prefix tolerance, routing a
+sorted id array through the bounds loses and reorders nothing, and the
+per-shard decrement buffers of a routed wave sum to exactly the serial
+flat decrements.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.partition.edge_shards as shards_mod
+from repro.exio import MemoryBudget
+from repro.partition import (
+    EdgeShardError,
+    EdgeShardPartitioner,
+    EdgeShardPlan,
+    check_partition,
+    edge_shard_source,
+    partitioner_by_name,
+    plan_edge_shards,
+)
+
+from helpers import random_graph
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+
+@st.composite
+def weighted_splits(draw):
+    """(m, shards, weights): a random incidence-weighted split request."""
+    m = draw(st.integers(min_value=0, max_value=120))
+    shards = draw(st.integers(min_value=1, max_value=9))
+    weights = draw(
+        st.one_of(
+            st.none(),
+            st.lists(
+                st.integers(min_value=0, max_value=25),
+                min_size=m,
+                max_size=m,
+            ),
+        )
+    )
+    return m, shards, weights
+
+
+@pytest.fixture(params=["accelerated", "stdlib"])
+def shard_mode(request, monkeypatch):
+    """Run each test through both the numpy and the stdlib planner."""
+    if request.param == "stdlib":
+        monkeypatch.setattr(shards_mod, "_np", None)
+    return request.param
+
+
+class TestPlanInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(weighted_splits())
+    def test_every_edge_owned_exactly_once(self, req):
+        m, n_shards, weights = req
+        plan = plan_edge_shards(m, n_shards, weights)
+        assert plan.num_shards == n_shards
+        assert plan.num_edges == m
+        covered = []
+        for _s, lo, hi in plan.iter_shards():
+            assert 0 <= lo <= hi <= m  # contiguous, in-range, monotone
+            covered.extend(range(lo, hi))
+        assert covered == list(range(m))
+        for eid in range(m):
+            s = plan.owner_of(eid)
+            lo, hi = plan.range_of(s)
+            assert lo <= eid < hi
+
+    @settings(max_examples=60, deadline=None)
+    @given(weighted_splits())
+    def test_loads_balanced_within_tolerance(self, req):
+        m, n_shards, weights = req
+        plan = plan_edge_shards(m, n_shards, weights)
+        charged = (
+            [1] * m if weights is None else [w + 1 for w in weights]
+        )
+        loads = plan.shard_loads(charged)
+        assert sum(loads) == sum(charged)
+        if m:
+            ideal = sum(charged) / n_shards
+            # greedy prefix cuts overshoot by at most one edge's charge
+            assert max(loads) <= ideal + max(charged)
+
+    @settings(max_examples=40, deadline=None)
+    @given(weighted_splits(), st.data())
+    def test_split_sorted_routes_losslessly(self, req, data):
+        m, n_shards, weights = req
+        plan = plan_edge_shards(m, n_shards, weights)
+        ids = sorted(
+            data.draw(
+                st.sets(st.integers(min_value=0, max_value=max(m - 1, 0)))
+            )
+        ) if m else []
+        pieces = plan.split_sorted(list(ids))
+        assert len(pieces) == n_shards
+        rejoined = [e for piece in pieces for e in piece]
+        assert rejoined == list(ids)  # nothing lost, order preserved
+        for s, piece in enumerate(pieces):
+            lo, hi = plan.range_of(s)
+            assert all(lo <= e < hi for e in piece)
+
+    @pytest.mark.skipif(np is None, reason="needs numpy to compare against")
+    def test_stdlib_matches_numpy_bounds(self, monkeypatch):
+        # the plan is a pure function of (m, shards, weights): both
+        # planner paths must cut at identical bounds, or a mixed
+        # numpy/stdlib deployment would disagree about ownership
+        cases = [
+            (12, 4, [3, 0, 7, 1, 1, 9, 2, 2, 5, 0, 4, 6]),
+            (9, 3, None),
+            (7, 5, [0, 0, 0, 10, 0, 0, 0]),
+        ]
+        accelerated = [
+            list(plan_edge_shards(m, s, w).bounds) for m, s, w in cases
+        ]
+        monkeypatch.setattr(shards_mod, "_np", None)
+        fallback = [
+            list(plan_edge_shards(m, s, w).bounds) for m, s, w in cases
+        ]
+        assert accelerated == fallback
+
+    def test_degenerate_shapes(self, shard_mode):
+        assert list(plan_edge_shards(0, 3).bounds) == [0, 0, 0, 0]
+        assert list(plan_edge_shards(5, 1).bounds) == [0, 5]
+        plan = plan_edge_shards(2, 6)  # more shards than edges: empties
+        assert plan.num_shards == 6
+        assert sum(hi - lo for _s, lo, hi in plan.iter_shards()) == 2
+
+    def test_invalid_requests_raise(self):
+        with pytest.raises(EdgeShardError):
+            plan_edge_shards(4, 0)
+        with pytest.raises(EdgeShardError):
+            plan_edge_shards(-1, 2)
+        with pytest.raises(EdgeShardError):
+            plan_edge_shards(4, 2, weights=[1, 2])
+        with pytest.raises(EdgeShardError):
+            plan_edge_shards(4, 2).owner_of(4)
+        with pytest.raises(EdgeShardError):
+            EdgeShardPlan([0, 3, 2])
+
+
+class TestBaseProtocol:
+    """The partitioner face: edge shards as ordinary partition blocks."""
+
+    def _tptr(self, incidences):
+        out = [0]
+        for w in incidences:
+            out.append(out[-1] + w)
+        return out
+
+    def test_partition_contract(self):
+        tptr = self._tptr([2, 0, 5, 1, 1, 3, 0, 4])
+        source = edge_shard_source(tptr)
+        blocks = EdgeShardPartitioner(shards=3).partition(
+            source, MemoryBudget(units=64)
+        )
+        check_partition(blocks, source)  # exactly-once coverage
+        flat = [e for b in blocks for e in b]
+        assert flat == sorted(flat)  # contiguous ascending ranges
+
+    def test_budget_derived_shard_count(self):
+        tptr = self._tptr([1] * 40)
+        source = edge_shard_source(tptr)
+        blocks = EdgeShardPartitioner().partition(
+            source, MemoryBudget(units=40)
+        )
+        check_partition(blocks, source)
+        assert len(blocks) >= 2  # 80 units of work cannot fit one 20-cap shard
+
+    def test_static_across_calls(self):
+        # unlike the vertex partitioners there is no phase rotation:
+        # ownership must never move between waves
+        tptr = self._tptr([3, 1, 4, 1, 5, 9, 2, 6])
+        p = EdgeShardPartitioner(shards=3)
+        source = edge_shard_source(tptr)
+        budget = MemoryBudget(units=32)
+        first = p.partition(source, budget)
+        assert all(
+            p.partition(source, budget) == first for _ in range(3)
+        )
+
+    def test_registry_lookup(self):
+        assert isinstance(
+            partitioner_by_name("edge_shards"), EdgeShardPartitioner
+        )
+
+    def test_non_dense_source_rejected(self):
+        from repro.partition import PartitionSource
+
+        sparse = PartitionSource(
+            degrees={0: 1, 2: 1}, iter_edges=lambda: iter(())
+        )
+        with pytest.raises(EdgeShardError):
+            EdgeShardPartitioner(shards=2).partition(
+                sparse, MemoryBudget(units=16)
+            )
+
+
+@pytest.mark.skipif(np is None, reason="the routed peel needs numpy")
+class TestRoutedDecrementParity:
+    """Routed per-shard decrement buffers == the serial flat decrements."""
+
+    @pytest.mark.parametrize("seed", [5, 23, 61])
+    @pytest.mark.parametrize("n_shards", [1, 2, 5])
+    def test_one_wave_routed_equals_serial(self, seed, n_shards):
+        from repro.core.flat import (
+            _as_csr,
+            _collect_hits_arrays,
+            _count_decrements_arrays,
+            _triangle_index,
+        )
+
+        g = random_graph(30, 0.25, seed=seed)
+        csr = _as_csr(g)
+        m = csr.num_edges
+        e1, e2, e3, tptr, tinc, sup = _triangle_index(csr, m)
+        if not len(e1):
+            pytest.skip("seed produced a triangle-free graph")
+        plan = plan_edge_shards(m, n_shards, weights=np.diff(tptr))
+        bounds = np.asarray(plan.bounds, dtype=np.int64)
+
+        # first wave of the k = floor+2 level, as the peel would run it
+        floor = int(sup.min())
+        frontier = np.flatnonzero(sup <= floor)
+        alive = np.ones(m, dtype=bool)
+        alive[frontier] = False
+        tdead = np.zeros(len(e1), dtype=bool)
+        hit = _collect_hits_arrays(tptr, tinc, tdead, frontier)
+        tdead[hit] = True
+
+        # serial: one global decrement buffer
+        touched, dec = _count_decrements_arrays(e1, e2, e3, alive, hit)
+        serial = np.zeros(m, dtype=np.int64)
+        serial[touched] = dec
+
+        # routed: each triangle to the owner shard(s) of its partners,
+        # deduped per shard; per-shard buffers scatter into their own
+        # disjoint ranges and must sum to the serial decrements
+        partners = np.concatenate((e1[hit], e2[hit], e3[hit]))
+        owner = np.searchsorted(bounds, partners, side="right") - 1
+        stride = len(e1)
+        key = np.unique(owner * stride + np.tile(hit, 3))
+        owners, tris = key // stride, key % stride
+        routed = np.zeros(m, dtype=np.int64)
+        for s in range(n_shards):
+            lo, hi = plan.range_of(s)
+            part = np.concatenate(
+                (e1[tris[owners == s]], e2[tris[owners == s]],
+                 e3[tris[owners == s]])
+            )
+            part = part[(part >= lo) & (part < hi)]
+            part = part[alive[part]]
+            ids, counts = np.unique(part, return_counts=True)
+            assert ((ids >= lo) & (ids < hi)).all()  # owner writes only its slice
+            routed[ids] += counts
+        assert (routed == serial).all()
