@@ -23,6 +23,7 @@ from repro.bench.tables import render_table
 from repro.core import (
     truss_decomposition_baseline,
     truss_decomposition_bottomup,
+    truss_decomposition_dist,
     truss_decomposition_flat,
     truss_decomposition_improved,
     truss_decomposition_mapreduce,
@@ -317,6 +318,73 @@ def static_shard_rows(
         row["static speedup"] = row["dynamic (s)"] / max(
             row["static (s)"], 1e-9
         )
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Ablation — distributed peel: transports, rank counts, dedupe footprint
+# ---------------------------------------------------------------------------
+def dist_transport_rows(
+    scale: float = 1.0,
+    names: Optional[Sequence[str]] = None,
+    ranks_list: Sequence[int] = (1, 2, 4),
+    transports: Sequence[str] = ("loopback", "tcp"),
+    repeats: int = 2,
+) -> List[Dict]:
+    """``method="dist"`` across transports and rank counts, parity-checked.
+
+    Every run is asserted bit-identical to the flat engine before its
+    time is reported (the rank count and transport never change the
+    wave schedule).  Alongside best-of-``repeats`` wall time, each
+    configuration reports the transport's own accounting:
+    ``B/wave`` is the total on-the-wire message volume (frame headers
+    included, summed over all ranks) divided by the wave count, and
+    ``dedupe (B)`` is the *peak per-rank* dedupe-state size — the
+    hash-partitioned dead-triangle bitmap, which must shrink as ranks
+    grow because no rank holds the global triangle set.
+    """
+    rows = []
+    for name in names or MASSIVE_DATASETS:
+        g = load_dataset(name, scale=scale)
+        ref = measure(
+            lambda: truss_decomposition_flat(g), track_memory=False
+        )
+        row: Dict = {
+            "dataset": name,
+            "|E|": g.num_edges,
+            "kmax": ref.result.kmax,
+            "flat (s)": ref.seconds,
+        }
+        extra: Dict = {}
+        for transport in transports:
+            for ranks in ranks_list:
+                seconds = None
+                for _ in range(max(1, repeats)):
+                    run = measure(
+                        lambda: truss_decomposition_dist(
+                            g, ranks=ranks, transport=transport
+                        ),
+                        track_memory=False,
+                    )
+                    assert run.result == ref.result, (
+                        name, transport, ranks,
+                    )
+                    extra = run.result.stats.extra
+                    seconds = (
+                        run.seconds
+                        if seconds is None
+                        else min(seconds, run.seconds)
+                    )
+                key = f"{transport} r={ranks}"
+                row[f"{key} (s)"] = seconds
+                row[f"{key} B/wave"] = extra.get("bytes_per_wave", 0)
+                row[f"{key} dedupe (B)"] = extra.get(
+                    "dedupe_peak_bytes", 0
+                )
+        # the schedule is config-invariant, so one column each suffices
+        row["waves"] = extra.get("waves", 0)
+        row["triangles"] = extra.get("triangles", 0)
         rows.append(row)
     return rows
 

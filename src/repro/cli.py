@@ -11,12 +11,15 @@ Commands:
 
 Every command reads/writes the SNAP-style text edge-list format.
 
-``decompose --method flat|parallel`` takes the ingest fast path: the
-file is streamed straight into CSR arrays (no dict-of-set graph build)
-and handed to the flat or parallel engine; ``--jobs N`` sets the
-parallel engine's worker-process count and ``--shards dynamic|static``
-picks between the per-wave frontier split and the static
-owner-computes edge-id shards.
+``decompose --method flat|parallel|dist`` takes the ingest fast path:
+the file is streamed straight into CSR arrays (no dict-of-set graph
+build) and handed to the flat, parallel or distributed engine;
+``--jobs N`` sets the parallel engine's worker-process count and
+``--shards dynamic|static`` picks between the per-wave frontier split
+and the static owner-computes edge-id shards.  For ``--method dist``,
+``--ranks N`` sets the rank count (one owned static edge shard per
+rank) and ``--transport loopback|tcp`` picks the message fabric —
+in-process queues or rank processes over framed localhost sockets.
 """
 
 from __future__ import annotations
@@ -55,10 +58,15 @@ def _budget(g: Graph, fraction: Optional[int]) -> Optional[MemoryBudget]:
 
 
 def cmd_decompose(args: argparse.Namespace) -> int:
-    for flag, value in (("--jobs", args.jobs), ("--shards", args.shards)):
-        if value is not None and args.method != "parallel":
+    for flag, value, owner in (
+        ("--jobs", args.jobs, "parallel"),
+        ("--shards", args.shards, "parallel"),
+        ("--ranks", args.ranks, "dist"),
+        ("--transport", args.transport, "dist"),
+    ):
+        if value is not None and args.method != owner:
             print(
-                f"error: {flag} only applies to --method parallel "
+                f"error: {flag} only applies to --method {owner} "
                 f"(got --method {args.method})",
                 file=sys.stderr,
             )
@@ -87,7 +95,8 @@ def cmd_decompose(args: argparse.Namespace) -> int:
         )
         start = time.perf_counter()
         td = truss_decomposition(
-            csr, method=args.method, jobs=args.jobs, shards=args.shards
+            csr, method=args.method, jobs=args.jobs, shards=args.shards,
+            ranks=args.ranks, transport=args.transport,
         )
         elapsed = time.perf_counter() - start
     else:
@@ -213,6 +222,28 @@ def build_parser() -> argparse.ArgumentParser:
             "re-splits each wave, 'static' fixes incidence-balanced "
             "edge-id shards owned by one worker for the whole peel "
             "(default: dynamic)"
+        ),
+    )
+    p.add_argument(
+        "--ranks",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "rank count for --method dist: one owned static edge "
+            "shard per rank (default: auto — a single rank on small "
+            "graphs, one per core otherwise)"
+        ),
+    )
+    p.add_argument(
+        "--transport",
+        default=None,
+        choices=["loopback", "tcp"],
+        help=(
+            "message fabric for --method dist: 'loopback' runs the "
+            "ranks as in-process queue-connected threads, 'tcp' as "
+            "processes meshed over length-prefixed localhost sockets "
+            "(default: loopback)"
         ),
     )
     p.add_argument(

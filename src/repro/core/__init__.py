@@ -10,18 +10,23 @@ Public surface (see :mod:`repro.core.api` for the uniform front door)::
     truss_decomposition_improved         Algorithm 2  (TD-inmem+)
     truss_decomposition_flat             Algorithm 2 over flat edge ids
     truss_decomposition_parallel         shared-memory parallel waves
+    truss_decomposition_dist             rank-distributed wave peel
     truss_decomposition_bottomup         Algorithms 3+4 (TD-bottomup)
     truss_decomposition_topdown          Algorithm 7  (TD-topdown)
     truss_decomposition_mapreduce        Cohen's TD-MR baseline
     lower_bounding / upper_bounding      the bound stages, standalone
 
-``truss_decomposition_flat`` and ``truss_decomposition_parallel`` are
-this repo's additions, not the paper's: the same peel semantics as
-TD-inmem+, run over the CSR snapshot's canonical edge-id arrays (see
-:mod:`repro.core.flat`), serially or fanned out over a worker pool
-through ``multiprocessing.shared_memory`` (:mod:`repro.core.parallel`
-with a ``jobs`` knob).  ``decompose_file`` feeds either engine straight
-from a text edge list via the dict-free streaming CSR ingest.
+``truss_decomposition_flat``, ``truss_decomposition_parallel`` and
+``truss_decomposition_dist`` are this repo's additions, not the
+paper's: the same peel semantics as TD-inmem+, run over the CSR
+snapshot's canonical edge-id arrays (see :mod:`repro.core.flat`),
+serially, fanned out over a worker pool through
+``multiprocessing.shared_memory`` (:mod:`repro.core.parallel` with a
+``jobs`` knob), or distributed across rank processes over a real
+message transport with per-rank state only (:mod:`repro.core.dist`
+with ``ranks``/``transport`` knobs).  ``decompose_file`` feeds any of
+them straight from a text edge list via the dict-free streaming CSR
+ingest.
 """
 
 from repro.core.api import (
@@ -35,6 +40,7 @@ from repro.core.api import (
 )
 from repro.core.bottomup import ample_budget, peel_level, truss_decomposition_bottomup
 from repro.core.decomposition import DecompositionStats, TrussDecomposition
+from repro.core.dist import TRANSPORTS, truss_decomposition_dist
 from repro.core.flat import truss_decomposition_flat
 from repro.core.hierarchy import HierarchyLevel, TrussHierarchy, truss_hierarchy
 from repro.core.lowerbound import LowerBoundResult, lower_bounding, prepare_input
@@ -49,6 +55,7 @@ from repro.core.upperbound import h_index, upper_bounding, x_excluding
 __all__ = [
     "METHODS",
     "CSR_METHODS",
+    "TRANSPORTS",
     "decompose_file",
     "truss_decomposition",
     "k_truss",
@@ -63,6 +70,7 @@ __all__ = [
     "truss_decomposition_improved",
     "truss_decomposition_flat",
     "truss_decomposition_parallel",
+    "truss_decomposition_dist",
     "truss_decomposition_bottomup",
     "truss_decomposition_topdown",
     "truss_decomposition_mapreduce",

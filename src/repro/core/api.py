@@ -13,6 +13,7 @@ name       algorithm                             when to use
 improved   Algorithm 2 (TD-inmem+)               default; graph fits RAM
 flat       Algorithm 2 over flat edge-id arrays  fastest serial path
 parallel   shared-memory parallel wave peel      multi-core machines
+dist       rank-distributed wave peel            graph exceeds one node
 baseline   Algorithm 1 (TD-inmem, Cohen)         comparison only
 bottomup   Algorithms 3+4 (TD-bottomup)          graph exceeds memory
 topdown    Algorithm 7 (TD-topdown)              only the top-t classes
@@ -27,7 +28,14 @@ level-synchronous waves out over a pool of worker processes sharing
 the triangle index through ``multiprocessing.shared_memory``; the
 ``jobs`` knob sets the worker count and ``shards`` picks between the
 per-wave dynamic frontier split and the static owner-computes edge-id
-shards of :mod:`repro.partition.edge_shards`.  Both accept a ready
+shards of :mod:`repro.partition.edge_shards`.  ``dist`` (see
+:mod:`repro.core.dist` and :mod:`repro.dist`) replaces the pool
+barriers with a real message transport: one rank process/thread per
+static edge shard, exchanging candidate/dead-triangle buffers over
+in-process queues (``transport="loopback"``) or length-prefixed
+localhost sockets (``transport="tcp"``), with the triangle dedupe
+hash-partitioned across ranks so no node holds the global triangle
+state.  All three accept a ready
 :class:`~repro.graph.csr.CSRGraph` in place of a ``Graph``, and
 :func:`decompose_file` feeds them straight from an edge-list file via
 the dict-free streaming ingest.
@@ -40,6 +48,7 @@ from typing import Dict, List, Optional
 
 from repro.core.bottomup import truss_decomposition_bottomup
 from repro.core.decomposition import TrussDecomposition
+from repro.core.dist import truss_decomposition_dist
 from repro.core.flat import truss_decomposition_flat
 from repro.core.mapreduce_truss import truss_decomposition_mapreduce
 from repro.core.parallel import truss_decomposition_parallel
@@ -55,13 +64,13 @@ from repro.graph.edges import Edge
 from repro.partition.base import Partitioner
 
 METHODS = (
-    "improved", "flat", "parallel", "baseline", "bottomup", "topdown",
-    "mapreduce",
+    "improved", "flat", "parallel", "dist", "baseline", "bottomup",
+    "topdown", "mapreduce",
 )
 
 #: methods that peel over the CSR substrate and accept it directly —
 #: these ride the dict-free file ingest in :func:`decompose_file`
-CSR_METHODS = ("flat", "parallel")
+CSR_METHODS = ("flat", "parallel", "dist")
 
 
 def truss_decomposition(
@@ -75,6 +84,8 @@ def truss_decomposition(
     top_t: Optional[int] = None,
     jobs: Optional[int] = None,
     shards: Optional[str] = None,
+    ranks: Optional[int] = None,
+    transport: Optional[str] = None,
 ) -> TrussDecomposition:
     """Compute the truss decomposition of ``g``.
 
@@ -95,20 +106,30 @@ def truss_decomposition(
             strategy: ``"dynamic"`` (default) re-splits each wave's
             frontier; ``"static"`` fixes an incidence-balanced edge-id
             shard per worker for the whole peel (owner-computes).
+        ranks: with ``method='dist'``, the rank count — one owned
+            static edge shard per rank (``None``: auto, like ``jobs``).
+        transport: with ``method='dist'``, the message fabric:
+            ``"loopback"`` (default, in-process queues) or ``"tcp"``
+            (rank processes over framed localhost sockets).
 
     Returns:
         A :class:`TrussDecomposition`; for ``top_t`` runs it is partial
         (contains only the requested classes).
     """
-    if method != "parallel":
-        bad = [
-            name for name, value in (("jobs", jobs), ("shards", shards))
-            if value is not None
-        ]
-        if bad:
-            raise DecompositionError(
-                f"method {method!r} does not accept: {', '.join(bad)}"
-            )
+    gated = (
+        ("jobs", jobs, "parallel"),
+        ("shards", shards, "parallel"),
+        ("ranks", ranks, "dist"),
+        ("transport", transport, "dist"),
+    )
+    bad = [
+        name for name, value, owner in gated
+        if value is not None and method != owner
+    ]
+    if bad:
+        raise DecompositionError(
+            f"method {method!r} does not accept: {', '.join(bad)}"
+        )
     if isinstance(g, CSRGraph) and method not in CSR_METHODS:
         raise DecompositionError(
             f"method {method!r} needs a mutable Graph; CSR snapshots are "
@@ -123,6 +144,9 @@ def truss_decomposition(
     if method == "parallel":
         _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
         return truss_decomposition_parallel(g, jobs=jobs, shards=shards)
+    if method == "dist":
+        _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
+        return truss_decomposition_dist(g, ranks=ranks, transport=transport)
     if method == "baseline":
         _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
         return truss_decomposition_baseline(g)
@@ -175,6 +199,8 @@ def decompose_file(
     *,
     jobs: Optional[int] = None,
     shards: Optional[str] = None,
+    ranks: Optional[int] = None,
+    transport: Optional[str] = None,
     **kwargs,
 ) -> TrussDecomposition:
     """Truss-decompose an edge-list file, riding the ingest fast path.
@@ -190,12 +216,14 @@ def decompose_file(
     if method in CSR_METHODS:
         csr = CSRGraph.from_edge_list_file(path)
         return truss_decomposition(
-            csr, method=method, jobs=jobs, shards=shards, **kwargs
+            csr, method=method, jobs=jobs, shards=shards, ranks=ranks,
+            transport=transport, **kwargs
         )
     from repro.graph.io import read_edge_list
 
     return truss_decomposition(
-        read_edge_list(path), method=method, jobs=jobs, shards=shards, **kwargs
+        read_edge_list(path), method=method, jobs=jobs, shards=shards,
+        ranks=ranks, transport=transport, **kwargs
     )
 
 

@@ -1,0 +1,403 @@
+"""``method="dist"``: the distributed peel's scatter/run/gather driver.
+
+The driver's whole job is the paper's "massive networks" deployment
+shape: build the shard plan, write the triangle index once for the
+ranks to mmap, launch one :class:`~repro.dist.rank.Rank` per shard
+over the chosen transport, and stitch the returned ``phi`` slices
+back together.  It holds *no* peel state while the ranks run — the
+level/wave decisions, the support arrays and the hash-partitioned
+triangle dedupe all live rank-side (see :mod:`repro.dist` for the
+wire protocol).
+
+Two launch modes, selected by ``transport``:
+
+* ``"loopback"`` — every rank is a thread of this process plugged into
+  a :class:`~repro.dist.transport.LoopbackFabric`; deterministic and
+  cheap, the mode tests and single-machine runs use;
+* ``"tcp"`` — every rank is a separate OS process meshed over
+  length-prefixed localhost sockets; ports are gathered over a control
+  pipe, results and failures come back the same way, and a rank death
+  (crash, kill, lost connection) cascades through the mesh and
+  surfaces here as a :class:`~repro.dist.transport.DistError` with
+  every process reaped and the index tempdir removed.
+
+Both modes produce the identical trussness map as ``method="flat"``
+at every rank count — the acceptance bar the cross-method parity suite
+and ``benchmarks/bench_ablation_dist_transport.py`` pin down.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from array import array
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.decomposition import DecompositionStats, TrussDecomposition
+from repro.core.flat import (
+    _as_csr,
+    _initial_supports_python,
+    _peel_wedge_bisect,
+    _triangle_index,
+    result_from_phi,
+)
+from repro.dist.rank import Rank, TriangleIndex
+from repro.dist.transport import (
+    DEFAULT_TIMEOUT,
+    DistError,
+    LoopbackFabric,
+    TcpTransport,
+    TransportError,
+    open_listener,
+)
+from repro.errors import DecompositionError
+from repro.partition.edge_shards import plan_edge_shards
+
+try:  # optional accelerator; the stdlib fallback degrades to core.flat
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+try:
+    import multiprocessing as _mp
+except ImportError:  # pragma: no cover - CPython always ships it
+    _mp = None
+
+#: the message fabrics of the distributed peel
+TRANSPORTS = ("loopback", "tcp")
+
+#: below this edge count, ``ranks=None`` resolves to a single rank —
+#: the per-wave exchange rounds dominate any fan-out win on small graphs
+_MIN_DIST_EDGES = 50_000
+
+
+def _resolve_transport(transport: Optional[str]) -> str:
+    """Validate the transport (``None`` means the loopback default)."""
+    if transport is None:
+        return "loopback"
+    if transport not in TRANSPORTS:
+        raise DecompositionError(
+            f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+        )
+    return transport
+
+
+def _resolve_ranks(ranks: Optional[int], m: int) -> int:
+    """An explicit ``ranks`` is honored exactly; ``None`` is heuristic."""
+    if ranks is not None:
+        if ranks < 1:
+            raise DecompositionError(
+                f"need at least 1 rank, got {ranks}"
+            )
+        return int(ranks)
+    if m < _MIN_DIST_EDGES:
+        return 1
+    return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------------
+# loopback launcher: ranks as fabric-connected threads
+# ---------------------------------------------------------------------------
+def _run_loopback(
+    nranks: int,
+    index_dir: str,
+    bounds: List[int],
+    kill_rank: Optional[int],
+):
+    fabric = LoopbackFabric(nranks)
+    results: List = [None] * nranks
+    failures: List = [None] * nranks
+
+    def rank_body(r: int) -> None:
+        tp = fabric.endpoint(r)
+        try:
+            if kill_rank == r:
+                raise RuntimeError(
+                    f"rank {r} killed by fault injection"
+                )
+            tri = TriangleIndex.open(index_dir)
+            results[r] = Rank(r, nranks, tp, bounds, tri).run()
+        except BaseException as exc:
+            failures[r] = exc
+            tp.abort()  # unblock peers waiting on this rank
+        finally:
+            tp.close()
+
+    threads = [
+        threading.Thread(target=rank_body, args=(r,), daemon=True)
+        for r in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    _raise_primary_failure(failures)
+    return _assemble(results, bounds)
+
+
+def _raise_primary_failure(failures: List) -> None:
+    """Surface the root-cause rank error, not a secondary cascade one.
+
+    A failing rank poisons its peers, whose exchanges then raise
+    :class:`TransportError`; the interesting exception is the
+    non-transport one when any rank has it.
+    """
+    primary = None
+    for r, exc in enumerate(failures):
+        if exc is None:
+            continue
+        if primary is None or (
+            isinstance(primary[1], TransportError)
+            and not isinstance(exc, TransportError)
+        ):
+            primary = (r, exc)
+    if primary is not None:
+        r, exc = primary
+        raise DistError(f"dist rank {r} failed: {exc}") from exc
+
+
+def _assemble(results: List, bounds: List[int]):
+    """Stitch the per-rank ``phi`` slices into the global array."""
+    phi = _np.zeros(bounds[-1], dtype=_np.int64)
+    for r, (phi_loc, _k, _st) in enumerate(results):
+        phi[bounds[r]:bounds[r + 1]] = phi_loc
+    # every rank steps the same schedule, so any rank's k is THE k
+    k = results[0][1]
+    return phi, k, [st for (_p, _k, st) in results]
+
+
+# ---------------------------------------------------------------------------
+# tcp launcher: ranks as socket-meshed processes
+# ---------------------------------------------------------------------------
+def _tcp_rank_main(
+    rank: int,
+    nranks: int,
+    conn,
+    index_dir: str,
+    bounds: List[int],
+    kill_rank: Optional[int],
+    timeout: float,
+) -> None:
+    """Rank-process entry: handshake, peel, report — or die loudly.
+
+    Any failure is reported over the control pipe (best effort) and
+    turned into a nonzero exit; the process never lingers blocking the
+    mesh, and a hard kill is survivable driver-side because peers fail
+    on the closed sockets and the driver watches exit codes.
+    """
+    tp = None
+    try:
+        listener, port = open_listener()
+        conn.send(("port", rank, port))
+        ports = conn.recv()
+        tp = TcpTransport.connect_mesh(
+            rank, nranks, ports, listener, timeout=timeout
+        )
+        if kill_rank == rank:
+            os._exit(42)  # fault injection: vanish mid-protocol
+        tri = TriangleIndex.open(index_dir)
+        phi, k, st = Rank(rank, nranks, tp, bounds, tri).run()
+        conn.send(("ok", rank, phi.tobytes(), k, st))
+    except BaseException as exc:
+        try:
+            conn.send(("err", rank, f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass  # driver sees the exit code instead
+        os._exit(1)
+    finally:
+        if tp is not None:
+            tp.close()
+        conn.close()
+
+
+def _collect(
+    procs: List,
+    pipes: List,
+    expect: str,
+    timeout: float,
+) -> List:
+    """Gather one ``expect``-tagged message per rank, watching liveness.
+
+    Raises :class:`DistError` the moment any rank reports an error,
+    dies without reporting, or the deadline passes — the caller's
+    ``finally`` then reaps the survivors.
+    """
+    nranks = len(procs)
+    out: List = [None] * nranks
+    pending = set(range(nranks))
+    deadline = time.monotonic() + timeout
+    while pending:
+        for r in sorted(pending):
+            if pipes[r].poll(0.02):
+                try:
+                    msg = pipes[r].recv()
+                except EOFError:
+                    raise DistError(
+                        f"dist rank {r} died without reporting "
+                        f"(exit code {procs[r].exitcode})"
+                    ) from None
+                if msg[0] == "err":
+                    raise DistError(f"dist rank {r} failed: {msg[2]}")
+                if msg[0] != expect:
+                    raise DistError(
+                        f"dist rank {r} sent {msg[0]!r}, expected "
+                        f"{expect!r}"
+                    )
+                out[r] = msg
+                pending.discard(r)
+            elif procs[r].exitcode is not None:
+                raise DistError(
+                    f"dist rank {r} exited with code "
+                    f"{procs[r].exitcode} before reporting {expect!r}"
+                )
+        if pending and time.monotonic() > deadline:
+            raise DistError(
+                f"dist ranks {sorted(pending)} timed out after "
+                f"{timeout:.0f}s waiting for {expect!r}"
+            )
+    return out
+
+
+def _run_tcp(
+    nranks: int,
+    index_dir: str,
+    bounds: List[int],
+    kill_rank: Optional[int],
+    timeout: float = DEFAULT_TIMEOUT,
+):
+    ctx = _mp.get_context()
+    procs: List = []
+    pipes: List = []
+    try:
+        for r in range(nranks):
+            parent, child = ctx.Pipe()
+            p = ctx.Process(
+                target=_tcp_rank_main,
+                args=(
+                    r, nranks, child, index_dir, bounds, kill_rank,
+                    timeout,
+                ),
+                daemon=True,
+            )
+            p.start()
+            child.close()
+            procs.append(p)
+            pipes.append(parent)
+        port_msgs = _collect(procs, pipes, "port", timeout)
+        ports = [None] * nranks
+        for _tag, r, port in port_msgs:
+            ports[r] = port
+        for r, pipe in enumerate(pipes):
+            try:
+                pipe.send(ports)
+            except OSError as exc:
+                # the rank died between reporting its port and reading
+                # the map; keep the driver's error contract uniform
+                raise DistError(
+                    f"dist rank {r} died before receiving the port map "
+                    f"(exit code {procs[r].exitcode}): {exc}"
+                ) from exc
+        done = _collect(procs, pipes, "ok", timeout)
+        results: List = [None] * nranks
+        for _tag, r, phi_bytes, k, st in done:
+            results[r] = (
+                _np.frombuffer(phi_bytes, dtype=_np.int64), k, st
+            )
+        return _assemble(results, bounds)
+    finally:
+        # reap every rank process, alive or not — no zombies, no
+        # orphans, whatever path got us here
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            p.join(timeout=10)
+        for p in procs:
+            if p.is_alive():  # pragma: no cover - terminate sufficed
+                p.kill()
+                p.join()
+        for pipe in pipes:
+            pipe.close()
+
+
+# ---------------------------------------------------------------------------
+# the public entry point
+# ---------------------------------------------------------------------------
+def truss_decomposition_dist(
+    g,
+    ranks: Optional[int] = None,
+    transport: Optional[str] = None,
+    *,
+    _kill_rank: Optional[int] = None,
+) -> TrussDecomposition:
+    """Truss-decompose ``g`` with the rank-distributed wave peel.
+
+    Args:
+        g: a :class:`~repro.graph.adjacency.Graph` (snapshotted, not
+            modified) or a :class:`~repro.graph.csr.CSRGraph` from the
+            streaming ingest.
+        ranks: shard/rank count.  ``None`` picks ``os.cpu_count()``
+            for graphs with at least ``_MIN_DIST_EDGES`` edges and a
+            single rank below that; an explicit value is honored
+            exactly.
+        transport: one of :data:`TRANSPORTS` — ``"loopback"`` (the
+            default: in-process queue fabric) or ``"tcp"`` (rank
+            processes over framed localhost sockets).
+        _kill_rank: fault-injection hook for the tests — the named
+            rank dies mid-protocol (``os._exit`` under tcp, an
+            exception under loopback) and the driver must surface a
+            clean :class:`~repro.dist.transport.DistError`.
+
+    Returns the identical trussness map as ``method="flat"`` — neither
+    the rank count nor the transport changes the wave schedule.
+    """
+    mode = _resolve_transport(transport)
+    csr = _as_csr(g)
+    m = csr.num_edges
+    stats = DecompositionStats(method="dist")
+    stats.record("transport", mode)
+    if _np is None or _mp is None:
+        # no vectorized substrate: degrade to the stdlib flat engine
+        stats.record("stdlib_fallback", 1)
+        stats.record("ranks", 1)
+        sup = _initial_supports_python(csr, m)
+        eu, ev = csr.edge_endpoints()
+        phi, k = _peel_wedge_bisect(csr, m, sup, eu, ev)
+        return result_from_phi(csr, phi, k if m else 2, stats)
+    nranks = _resolve_ranks(ranks, m)
+    stats.record("ranks", nranks)
+    if not m:
+        return result_from_phi(csr, array("q"), 2, stats)
+    e1, e2, e3, tptr, tinc, _sup = _triangle_index(csr, m)
+    n_tri = len(e1)
+    plan = plan_edge_shards(m, nranks, weights=_np.diff(tptr))
+    bounds = [int(b) for b in plan.bounds]
+    with tempfile.TemporaryDirectory(prefix="repro-dist-") as tmp:
+        TriangleIndex.write(Path(tmp), e1, e2, e3, tptr, tinc)
+        # the ranks mmap the files; drop the driver's build copies so
+        # no single process keeps holding the whole index
+        del e1, e2, e3, tptr, tinc, _sup
+        if mode == "tcp":
+            phi, k, rank_stats = _run_tcp(
+                nranks, tmp, bounds, _kill_rank
+            )
+        else:
+            phi, k, rank_stats = _run_loopback(
+                nranks, tmp, bounds, _kill_rank
+            )
+    # the schedule is identical on every rank; rank 0 speaks for it
+    head = rank_stats[0]
+    for key in ("waves", "levels", "max_wave", "exchange_rounds"):
+        stats.record(key, head[key])
+    msg_bytes = sum(st["msg_bytes"] for st in rank_stats)
+    stats.record("msg_bytes", msg_bytes)
+    stats.record("bytes_per_wave", msg_bytes / max(head["waves"], 1))
+    stats.record(
+        "dedupe_peak_bytes",
+        max(st["dedupe_bytes"] for st in rank_stats),
+    )
+    stats.record("triangles", n_tri)
+    return result_from_phi(csr, array("q", phi.tobytes()), k, stats)

@@ -109,7 +109,11 @@ from repro.core.flat import (
 )
 from repro.errors import DecompositionError
 from repro.graph.csr import CSRGraph
-from repro.partition.edge_shards import balanced_prefix_cuts, plan_edge_shards
+from repro.partition.edge_shards import (
+    balanced_prefix_cuts,
+    plan_edge_shards,
+    route_dead_triangles,
+)
 
 try:  # optional accelerator; the stdlib fallback degrades to core.flat
     import numpy as _np
@@ -360,8 +364,6 @@ def run_static_wave_peel(
     e1, e2, e3 = views["e1"], views["e2"], views["e3"]
     phi, hist = views["phi"], views["hist"]
     bounds = _np.asarray(plan.bounds, dtype=_np.int64)
-    n_shards = plan.num_shards
-    shard_ids = _np.arange(1, n_shards, dtype=_np.int64)
     stride = max(len(e1), 1)
     floor = 0
     k = 2
@@ -397,15 +399,9 @@ def run_static_wave_peel(
                 break
             tdead[hit] = True
             # route: each dead triangle goes to the owner shard(s) of
-            # its partner edges, once per shard (the unique over
+            # its partner edges, once per shard (the shared unique over
             # (owner, triangle) keys is the exactly-once guarantee)
-            partners = _np.concatenate((e1[hit], e2[hit], e3[hit]))
-            owner = _np.searchsorted(bounds, partners, side="right") - 1
-            key = _np.unique(owner * stride + _np.tile(hit, 3))
-            owners = key // stride
-            routed = _np.split(
-                key - owners * stride, _np.searchsorted(owners, shard_ids)
-            )
+            routed = route_dead_triangles(bounds, stride, hit, e1, e2, e3)
             tasks = [
                 (s, tris, k)
                 for s, tris in enumerate(routed)

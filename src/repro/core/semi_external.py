@@ -16,18 +16,22 @@ ablation benchmark contrasts its I/O against TD-bottomup under the same
 memory, which is the paper's whole case for designing scan-based
 algorithms.
 
-Initial supports are the in-memory edge state, so they are computed
-once over the flat CSR/edge-id substrate
-(:func:`repro.core.flat.initial_supports` — merge-intersections, no
-``set`` probe per edge) before the disk-resident peel begins; the peel
-loop itself is untouched, keeping the random-access I/O profile that
-this baseline exists to measure.
+The in-memory edge state lives entirely in flat integer arrays indexed
+by canonical edge id — supports from
+:func:`repro.core.flat.initial_supports` (merge-intersections, no
+``set`` probe per edge), liveness as a bytearray bitmap, ``phi`` as an
+``array('q')`` — and triangle wings are resolved through
+:meth:`~repro.graph.csr.CSRGraph.edge_id` instead of hashed edge
+tuples; labeled edges materialize only once, in the emitted trussness
+map.  The peel loop's *I/O* is untouched, keeping the random-access
+profile this baseline exists to measure.
 """
 
 from __future__ import annotations
 
 import struct
 import tempfile
+from array import array
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
@@ -39,7 +43,6 @@ from repro.exio.diskgraph import DiskAdjacencyGraph
 from repro.exio.iostats import IOStats
 from repro.exio.memory import MemoryBudget
 from repro.graph.adjacency import Graph
-from repro.graph.edges import Edge, norm_edge
 
 _HEADER = struct.Struct("<qq")
 _ID = struct.Struct("<q")
@@ -98,35 +101,37 @@ def truss_decomposition_semi_external(
 
             # ---- Algorithm 2 semantics over disk-resident adjacency ----
             # in memory: one integer of state per edge (the semi-external
-            # allowance); the adjacency structure itself stays on disk.
-            # That state is initialized over the flat CSR substrate —
-            # one merge-intersection pass over canonical edge ids, not a
-            # set(adj.neighbors(v)) probe per edge against the disk file
+            # allowance), held in flat arrays indexed by canonical edge
+            # id — no Dict[Edge, int] round trip; the adjacency structure
+            # itself stays on disk
             csr = CSRGraph.from_graph(g)
-            sup_flat = initial_supports(csr)
+            m = csr.num_edges
+            sup = initial_supports(csr)
             eu, ev = csr.edge_endpoints()
             labels = csr.labels
-            sup: Dict[Edge, int] = {
-                (labels[eu[e]], labels[ev[e]]): sup_flat[e]
-                for e in range(csr.num_edges)
-            }
+            alive = bytearray(b"\x01") * m
+            phi = array("q", [0]) * m
 
-            phi: Dict[Edge, int] = {}
-            remaining = set(sup)
+            remaining = m
             k = 2
             while remaining:
                 threshold = k - 2
-                queue = [e for e in remaining if sup[e] <= threshold]
+                queue = [
+                    e for e in range(m)
+                    if alive[e] and sup[e] <= threshold
+                ]
                 if not queue:
                     k += 1
                     continue
                 while queue:
                     e = queue.pop()
-                    if e not in remaining:
+                    if not alive[e]:
                         continue
-                    u, v = e
-                    remaining.discard(e)
+                    alive[e] = 0
+                    remaining -= 1
                     phi[e] = k
+                    iu, iv = eu[e], ev[e]
+                    u, v = labels[iu], labels[iv]
                     # the random-access step the paper warns about: both
                     # endpoints' lists fetched from arbitrary disk pages,
                     # for every single removal in the cascade
@@ -135,19 +140,23 @@ def truss_decomposition_semi_external(
                     for w in nu:
                         if w not in nv:
                             continue
-                        fu = norm_edge(u, w)
-                        fv = norm_edge(v, w)
+                        iw = csr.compact_id(w)
+                        fu = csr.edge_id(iu, iw)
+                        fv = csr.edge_id(iv, iw)
                         # the triangle was live only if both wings are
                         # (disk lists never shrink; liveness is edge state)
-                        if fu in remaining and fv in remaining:
+                        if alive[fu] and alive[fv]:
                             for f in (fu, fv):
                                 sup[f] -= 1
                                 if sup[f] <= threshold:
                                     queue.append(f)
-                    del sup[e]
                 k += 1
             dstats.record("buffer_hits", pool.hits)
             dstats.record("buffer_misses", pool.misses)
             dstats.record("buffer_hit_rate", pool.hit_rate)
-    dstats.record("kmax", max(phi.values(), default=2))
-    return TrussDecomposition(phi, stats=dstats)
+    dstats.record("kmax", max(phi, default=2))
+    # labels ascend and eu[e] < ev[e], so the keys are canonical already
+    return TrussDecomposition.from_canonical(
+        {(labels[eu[e]], labels[ev[e]]): phi[e] for e in range(m)},
+        stats=dstats,
+    )

@@ -1,0 +1,74 @@
+"""Rank-based distributed peeling over the static edge shards.
+
+PR 3 shaped the static-shard peel as owner-computes message exchanges
+riding ``pool.map`` barriers; this package replaces those barriers with
+a real transport, so ``method="dist"`` (driven by
+:mod:`repro.core.dist`) runs one :class:`~repro.dist.rank.Rank` per
+shard of an :class:`~repro.partition.edge_shards.EdgeShardPlan`, each
+owning only its slice of the peel state plus a read-only mmap of the
+triangle index — no process holds the global triangle set, the global
+dedupe state, or another rank's supports.
+
+Wire protocol
+-------------
+**Frame format.**  Every message is one frame: an 8-byte little-endian
+unsigned payload length (``struct '<Q'``, :data:`~repro.dist.transport.
+FRAME_HEADER`) followed by the payload — the raw bytes of a C-contiguous
+little-endian int64 numpy array (possibly empty).  The TCP mesh carries
+one connection per rank pair, built by dial-low/accept-high with an
+8-byte signed hello frame (``struct '<q'``) announcing the dialer's
+rank; the loopback fabric replaces sockets with one in-process queue
+per directed pair and charges identical frame accounting.
+
+**Exchange rounds per wave.**  Each *level* opens with one control
+``allgather`` of ``(remaining_live_edges, local_support_floor)`` —
+its sum/min decide termination and the next ``k``.  Each *wave* inside
+a level is exactly three rounds:
+
+1. control ``allgather`` of the local frontier size (a zero sum ends
+   the wave loop; frontiers themselves never cross the wire — a
+   shard's frontier edges are by definition edges it owns);
+2. ``alltoallv`` of candidate destroyed-triangle ids, routed to their
+   *hash owners* for dedupe;
+3. ``alltoallv`` of the newly-dead triangle ids, routed to the shard
+   owner(s) of their partner edges (deduped per ``(owner, triangle)``
+   key, so every triangle decrements each partner exactly once), which
+   apply the support decrements to their own slices.
+
+**Triangle-id hash partitioning.**  Triangle ``t`` is owned by rank
+``t % size``; the owner keeps one bool bitmap indexed by ``t // size``
+(``~|△G| / size`` bytes per rank) and declares a candidate dead at
+most once — the distributed replacement for the coordinator's global
+``tdead``/``np.unique`` dedupe.  Supports therefore stay exact, the
+wave schedule matches :func:`repro.core.flat.run_wave_peel` decision
+for decision, and the assembled trussness map is bit-identical to
+``method="flat"`` at every rank count on both transports.
+"""
+
+from repro.dist.exchange import allgather, alltoallv
+from repro.dist.rank import Rank, TriangleIndex
+from repro.dist.transport import (
+    DEFAULT_TIMEOUT,
+    DistError,
+    LoopbackFabric,
+    LoopbackTransport,
+    TcpTransport,
+    Transport,
+    TransportError,
+    open_listener,
+)
+
+__all__ = [
+    "DEFAULT_TIMEOUT",
+    "DistError",
+    "LoopbackFabric",
+    "LoopbackTransport",
+    "Rank",
+    "TcpTransport",
+    "Transport",
+    "TransportError",
+    "TriangleIndex",
+    "allgather",
+    "alltoallv",
+    "open_listener",
+]

@@ -1,0 +1,104 @@
+"""Collective exchange primitives over a point-to-point transport.
+
+:func:`alltoallv` is the one collective the distributed peel needs: a
+bulk-synchronous variable-length exchange of int64 numpy buffers, one
+outbox per destination rank, one inbox per source rank — the MPI
+``Alltoallv`` shape, built on nothing but the transport's framed
+``send``/``recv``.  :func:`allgather` rides it for the peel's scalar
+control rounds (frontier sizes, live counts, support floors).
+
+Buffers cross the wire as raw little-endian int64 bytes (numpy's
+native byte order on every platform this repo targets); the self
+destination never touches the transport — a rank's message to itself
+is handed over directly and costs zero accounted bytes.
+
+Deadlock freedom: a transport whose sends can block until the peer
+drains (``buffered = False``, i.e. TCP) has its outbound frames pumped
+from a helper thread while the caller drains inbound frames, so two
+ranks simultaneously sending large frames to each other can never
+wedge on full socket buffers.  Buffered transports (loopback queues)
+send inline.  Receives always drain in ascending source-rank order,
+which — together with one frame per pair per round — makes the result
+deterministic for any thread schedule.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Sequence
+
+from repro.dist.transport import Transport
+
+try:  # the distributed peel is numpy-substrate-only (driver gates this)
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+def _encode(buf) -> bytes:
+    return _np.ascontiguousarray(buf, dtype=_np.int64).tobytes()
+
+
+def _decode(payload: bytes):
+    return _np.frombuffer(payload, dtype=_np.int64)
+
+
+def alltoallv(transport: Transport, outboxes: Sequence) -> List:
+    """One exchange round: ``outboxes[dst]`` out, inbox-per-source back.
+
+    ``outboxes`` must hold exactly ``transport.size`` int64 arrays
+    (empties allowed and common).  Returns a list of ``size`` int64
+    arrays where entry ``src`` is what rank ``src`` sent here this
+    round.  Every rank of the mesh must call this the same number of
+    times with the same round alignment — the peel's wave loop
+    guarantees that by construction.
+    """
+    size, rank = transport.size, transport.rank
+    if len(outboxes) != size:
+        raise ValueError(f"{len(outboxes)} outboxes for {size} ranks")
+    inboxes: List = [None] * size
+    inboxes[rank] = _np.ascontiguousarray(outboxes[rank], dtype=_np.int64)
+    peers = [p for p in range(size) if p != rank]
+    if not peers:
+        return inboxes
+    payloads = {dst: _encode(outboxes[dst]) for dst in peers}
+    if transport.buffered:
+        for dst in peers:
+            transport.send(dst, payloads[dst])
+        for src in peers:
+            inboxes[src] = _decode(transport.recv(src))
+        return inboxes
+    pump_error: List[BaseException] = []
+
+    def pump() -> None:
+        try:
+            for dst in peers:
+                transport.send(dst, payloads[dst])
+        except BaseException as exc:  # surfaced after the joins below
+            pump_error.append(exc)
+
+    pumper = threading.Thread(target=pump, daemon=True)
+    pumper.start()
+    try:
+        for src in peers:
+            inboxes[src] = _decode(transport.recv(src))
+    finally:
+        # sends carry the socket timeout, so this join is bounded even
+        # when the receive side already failed
+        pumper.join()
+    if pump_error:
+        raise pump_error[0]
+    return inboxes
+
+
+def allgather(transport: Transport, values):
+    """Give every rank every rank's ``values`` row, as a 2-D array.
+
+    ``values`` is a small int64 vector (the peel's control scalars);
+    the result's row ``r`` is rank ``r``'s contribution.  Implemented
+    as an :func:`alltoallv` broadcast, so it inherits the same
+    determinism and accounting.
+    """
+    row = _np.atleast_1d(_np.asarray(values, dtype=_np.int64)).ravel()
+    parts = alltoallv(transport, [row] * transport.size)
+    return _np.stack(parts)

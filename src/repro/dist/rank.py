@@ -1,0 +1,281 @@
+"""The rank runtime: one shard of the peel, driven by exchanges.
+
+A :class:`Rank` owns exactly one contiguous shard of the canonical
+edge-id space — the ``sup``/``alive``/``phi``/histogram slices of the
+edges ``bounds[rank] <= e < bounds[rank + 1]`` from an
+:class:`~repro.partition.edge_shards.EdgeShardPlan` — plus a read-only
+mmap of the global triangle index (:class:`TriangleIndex`).  It runs
+the same level-synchronous wave schedule as
+:func:`repro.core.flat.run_wave_peel`, but every piece of global state
+the shared-memory coordinator used to hold is replaced by an exchange
+over the transport:
+
+* the frontier is *discovered locally* (a shard's frontier edges are by
+  definition edges it owns), so no routing round exists at all;
+* the coordinator's global ``tdead`` dedupe bitmap is hash-partitioned:
+  triangle ``t`` is owned by rank ``t % size``, which keeps a bool
+  bitmap indexed by ``t // size`` — ``~|△G| / size`` bytes per rank,
+  the *only* dedupe state anywhere (no rank ever holds the global
+  triangle set);
+* supports stay exact exactly as in the serial peel: a triangle
+  decrements its partner edges once, in the wave its first edge pops,
+  because only its hash owner can declare it newly dead.
+
+Because the control decisions (current floor, wave continuation,
+termination) are all reductions over exchanged scalars, every rank
+steps through the identical ``(k, wave)`` schedule, and the assembled
+``phi`` is bit-identical to ``method="flat"`` at any rank count on
+either transport.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Sequence, Tuple
+
+from repro.dist.exchange import allgather, alltoallv
+from repro.dist.transport import DistError, Transport
+from repro.partition.edge_shards import route_dead_triangles
+
+try:  # the distributed peel is numpy-substrate-only (driver gates this)
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: "no live support at or above the floor" sentinel for the min-reduce
+_NO_FLOOR = 1 << 62
+
+
+class TriangleIndex:
+    """The read-only triangle index, shared with ranks through mmap.
+
+    Five int64 arrays, exactly the layout of
+    :func:`repro.core.flat._triangle_index`: the per-triangle edge
+    columns ``e1``/``e2``/``e3`` and the edge->triangle incidence
+    ``tptr``/``tinc``.  The driver writes them once as ``.npy`` files;
+    every rank opens them memory-mapped, so rank processes share the
+    page cache instead of each holding a private copy.
+    """
+
+    FIELDS = ("e1", "e2", "e3", "tptr", "tinc")
+
+    def __init__(self, e1, e2, e3, tptr, tinc) -> None:
+        self.e1 = e1
+        self.e2 = e2
+        self.e3 = e3
+        self.tptr = tptr
+        self.tinc = tinc
+
+    @property
+    def num_triangles(self) -> int:
+        return len(self.e1)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.tptr) - 1
+
+    @staticmethod
+    def write(dirpath, e1, e2, e3, tptr, tinc) -> None:
+        """Persist the five arrays as ``.npy`` files under ``dirpath``."""
+        dirpath = Path(dirpath)
+        for name, arr in zip(TriangleIndex.FIELDS, (e1, e2, e3, tptr, tinc)):
+            _np.save(
+                dirpath / f"{name}.npy",
+                _np.ascontiguousarray(arr, dtype=_np.int64),
+            )
+
+    @classmethod
+    def open(cls, dirpath) -> "TriangleIndex":
+        """Map the five arrays read-only from ``dirpath``."""
+        dirpath = Path(dirpath)
+        arrays = []
+        for name in cls.FIELDS:
+            path = dirpath / f"{name}.npy"
+            try:
+                arrays.append(_np.load(path, mmap_mode="r"))
+            except (ValueError, OSError):
+                # zero-length arrays on platforms that refuse empty maps
+                arrays.append(_np.load(path))
+        return cls(*arrays)
+
+
+def _split_by_owner(values, owners, parts: int):
+    """Group ``values`` into per-owner outboxes (owners in 0..parts-1)."""
+    if not values.size:
+        return [values] * parts
+    order = _np.argsort(owners, kind="stable")
+    counts = _np.bincount(owners, minlength=parts)
+    return _np.split(values[order], _np.cumsum(counts)[:-1])
+
+
+class Rank:
+    """One shard of the distributed peel, complete with its wave loop."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        transport: Transport,
+        bounds: Sequence[int],
+        tri: TriangleIndex,
+    ) -> None:
+        if len(bounds) != size + 1:
+            raise DistError(
+                f"{len(bounds)} shard bounds for {size} ranks"
+            )
+        self.rank = rank
+        self.size = size
+        self.transport = transport
+        self.bounds = _np.asarray(bounds, dtype=_np.int64)
+        self.lo = int(bounds[rank])
+        self.hi = int(bounds[rank + 1])
+        self.tri = tri
+
+    # ------------------------------------------------------------------
+    def _incident_triangles(self, edge_ids):
+        """Deduped triangle ids incident to the given global edge ids.
+
+        The collect gather of :func:`repro.core.flat._collect_hits_arrays`
+        minus the ``tdead`` filter — liveness of a triangle is decided
+        by its hash owner, not here, so already-dead candidates may be
+        (re)sent and are dropped at the owner.
+        """
+        tptr, tinc = self.tri.tptr, self.tri.tinc
+        starts = _np.asarray(tptr[edge_ids], dtype=_np.int64)
+        cnt = _np.asarray(tptr[edge_ids + 1], dtype=_np.int64) - starts
+        total = int(cnt.sum())
+        if not total:
+            return _np.zeros(0, dtype=_np.int64)
+        ends = _np.cumsum(cnt)
+        offs = _np.arange(total, dtype=_np.int64) - _np.repeat(
+            ends - cnt, cnt
+        )
+        slots = _np.repeat(starts, cnt) + offs
+        return _np.unique(_np.asarray(tinc[slots], dtype=_np.int64))
+
+    @staticmethod
+    def _local_floor(hist, floor: int) -> int:
+        """Smallest live support value ``>= floor``, or the sentinel."""
+        if floor >= len(hist):
+            return _NO_FLOOR
+        nz = _np.flatnonzero(hist[floor:])
+        return floor + int(nz[0]) if nz.size else _NO_FLOOR
+
+    # ------------------------------------------------------------------
+    def run(self) -> Tuple["_np.ndarray", int, Dict[str, int]]:
+        """Peel the owned shard to completion; returns ``(phi, k, stats)``.
+
+        ``phi`` is the shard's slice (local index 0 is global edge id
+        ``lo``).  Per wave the loop runs three exchange rounds — one
+        control allgather (wave continuation), the candidate-triangle
+        alltoallv to hash owners, and the dead-triangle alltoallv to
+        partner-edge owners — plus one control allgather per level
+        (remaining live edges, local support floor).
+        """
+        tp = self.transport
+        R, lo, hi = self.size, self.lo, self.hi
+        mloc = hi - lo
+        tri = self.tri
+        e1, e2, e3 = tri.e1, tri.e2, tri.e3
+        n_tri = tri.num_triangles
+        # initial support == triangle-incidence count == tptr run length
+        sup = _np.diff(_np.asarray(tri.tptr[lo:hi + 1], dtype=_np.int64))
+        alive = _np.ones(mloc, dtype=bool)
+        phi = _np.zeros(mloc, dtype=_np.int64)
+        # per-shard alive-support histogram: supports only decrease, so
+        # the initial height bounds it for the whole peel
+        hist = (
+            _np.bincount(sup, minlength=1)
+            if mloc
+            else _np.zeros(1, dtype=_np.int64)
+        )
+        # the hash-partitioned dedupe bitmap: this rank owns triangles
+        # t with t % R == rank, indexed by t // R — the peel's only
+        # dead-triangle state, ~|△G|/R bytes
+        owned_dead = _np.zeros(
+            max(0, (n_tri - self.rank + R - 1) // R), dtype=bool
+        )
+        stride = max(n_tri, 1)
+        empty = _np.zeros(0, dtype=_np.int64)
+        floor = 0
+        k = 2
+        remaining = mloc
+        waves = levels = max_wave = exchange_rounds = 0
+        while True:
+            ctrl = allgather(
+                tp, (remaining, self._local_floor(hist, floor))
+            )
+            exchange_rounds += 1
+            if not int(ctrl[:, 0].sum()):
+                break
+            floor = int(ctrl[:, 1].min())
+            if floor + 2 > k:
+                k = floor + 2
+            levels += 1
+            frontier = _np.flatnonzero(alive & (sup <= k - 2))
+            while True:
+                sizes = allgather(tp, (frontier.size,))
+                exchange_rounds += 1
+                total = int(sizes[:, 0].sum())
+                if not total:
+                    break
+                waves += 1
+                max_wave = max(max_wave, total)
+                # pop the owned frontier: phi/alive/hist are ours alone
+                if frontier.size:
+                    phi[frontier] = k
+                    _np.subtract.at(hist, sup[frontier], 1)
+                    alive[frontier] = False
+                    remaining -= int(frontier.size)
+                    cand = self._incident_triangles(frontier + lo)
+                else:
+                    cand = empty
+                # exchange: candidate triangles to their hash owners
+                recvd = alltoallv(
+                    tp, _split_by_owner(cand, cand % R, R)
+                )
+                exchange_rounds += 1
+                mine = _np.concatenate(recvd)
+                if mine.size:
+                    mine = _np.unique(mine)
+                    fresh = mine[~owned_dead[mine // R]]
+                    owned_dead[fresh // R] = True
+                else:
+                    fresh = empty
+                # exchange: newly-dead triangles to the owner shard(s)
+                # of their partner edges, once per (owner, triangle) —
+                # the router shared with the shared-memory peel, so the
+                # exactly-once key convention cannot drift between them
+                boxes = route_dead_triangles(
+                    self.bounds, stride, fresh, e1, e2, e3
+                )
+                routed = alltoallv(tp, boxes)
+                exchange_rounds += 1
+                tris = _np.concatenate(routed)
+                frontier = empty
+                if tris.size:
+                    partners = _np.concatenate(
+                        (e1[tris], e2[tris], e3[tris])
+                    )
+                    partners = (
+                        partners[(partners >= lo) & (partners < hi)] - lo
+                    )
+                    partners = partners[alive[partners]]
+                    if partners.size:
+                        touched, dec = _np.unique(
+                            partners, return_counts=True
+                        )
+                        old = sup[touched]
+                        new = old - dec
+                        sup[touched] = new
+                        _np.subtract.at(hist, old, 1)
+                        _np.add.at(hist, new, 1)
+                        frontier = touched[new <= k - 2]
+        return phi, k, {
+            "waves": waves,
+            "levels": levels,
+            "max_wave": max_wave,
+            "exchange_rounds": exchange_rounds,
+            "msg_bytes": tp.bytes_sent,
+            "dedupe_bytes": int(owned_dead.nbytes),
+        }

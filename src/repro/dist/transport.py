@@ -1,0 +1,305 @@
+"""Point-to-point message transports for the distributed peel.
+
+A transport is the rank runtime's only view of its peers: a framed,
+ordered, reliable byte channel per peer pair (``send(dst, payload)`` /
+``recv(src) -> payload``), plus byte/frame accounting so the benchmark
+layer can report exactly what a peel puts on the wire.  The exchange
+primitives in :mod:`repro.dist.exchange` are built on nothing else, so
+the two implementations here are interchangeable wave for wave:
+
+* :class:`LoopbackTransport` — one in-process :class:`queue.SimpleQueue`
+  per ``(dst, src)`` pair, handed out by a shared
+  :class:`LoopbackFabric`.  Every ``recv`` names its source queue, so
+  delivery order is deterministic regardless of thread scheduling —
+  the fast, reproducible harness the tests run the full protocol on.
+  Byte accounting charges the same 8-byte frame header as the TCP
+  framing, so the two transports report comparable message volumes.
+* :class:`TcpTransport` — length-prefixed frames over a full mesh of
+  localhost sockets, one connection per rank pair, built by
+  :meth:`TcpTransport.connect_mesh` (rank ``r`` dials every lower rank
+  and accepts from every higher one, identified by an 8-byte hello).
+  This is the real inter-process wire the ``method="dist"`` driver
+  runs rank *processes* over.
+
+Failure model: a dead peer must never hang the mesh.  TCP sockets carry
+a timeout and raise :class:`TransportError` on EOF/reset (a killed rank
+closes its sockets, so its peers fail fast and cascade); loopback ranks
+``abort()`` on the way out, posting a poison frame to every peer queue
+so blocked receivers unwind with the same :class:`TransportError`.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class DistError(ReproError):
+    """A distributed decomposition failed (rank death, bad arguments...)."""
+
+
+class TransportError(DistError):
+    """A peer channel failed: EOF, reset, timeout, or an aborted peer."""
+
+
+#: frame header: unsigned little-endian payload byte length
+FRAME_HEADER = struct.Struct("<Q")
+
+#: mesh handshake hello: the dialing rank's id, signed little-endian
+HELLO = struct.Struct("<q")
+
+#: blanket deadline (seconds) for any single blocking transport step —
+#: generous enough for a loaded CI runner, small enough that a wedged
+#: mesh surfaces as an error instead of an eternal hang
+DEFAULT_TIMEOUT = float(os.environ.get("REPRO_DIST_TIMEOUT", "120"))
+
+#: loopback poison frame: a failing rank posts this to every peer queue
+_POISON = object()
+
+
+class Transport:
+    """Base of the peer channels: framed p2p bytes with accounting.
+
+    ``bytes_sent`` totals on-the-wire bytes (payload plus the 8-byte
+    frame header each message costs), ``frames_sent`` the message
+    count.  ``buffered`` tells the exchange layer whether ``send`` can
+    block waiting for the peer to drain (TCP) or always completes
+    immediately (loopback queues) — the exchange primitive pumps
+    blocking sends from a helper thread to stay deadlock-free.
+    """
+
+    buffered = False
+
+    def __init__(self, rank: int, size: int) -> None:
+        self.rank = rank
+        self.size = size
+        self.bytes_sent = 0
+        self.frames_sent = 0
+
+    # -- the p2p contract ------------------------------------------------
+    def send(self, dst: int, payload: bytes) -> None:
+        raise NotImplementedError
+
+    def recv(self, src: int) -> bytes:
+        raise NotImplementedError
+
+    def abort(self) -> None:
+        """Best-effort: unblock peers after a local failure."""
+
+    def close(self) -> None:
+        """Release channel resources (idempotent)."""
+
+    def _account(self, payload: bytes) -> None:
+        self.bytes_sent += len(payload) + FRAME_HEADER.size
+        self.frames_sent += 1
+
+
+# ---------------------------------------------------------------------------
+# loopback: in-process queues
+# ---------------------------------------------------------------------------
+class LoopbackFabric:
+    """The shared queue matrix ``size`` loopback endpoints plug into.
+
+    ``_queues[dst][src]`` carries frames from ``src`` to ``dst``; one
+    queue per directed pair means a receiver always pulls from the
+    queue it names, so no tagging or reordering can occur.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise DistError(f"need at least 1 rank, got {size}")
+        self.size = size
+        self._queues: List[List[queue.SimpleQueue]] = [
+            [queue.SimpleQueue() for _src in range(size)]
+            for _dst in range(size)
+        ]
+
+    def endpoint(
+        self, rank: int, timeout: float = DEFAULT_TIMEOUT
+    ) -> "LoopbackTransport":
+        if not 0 <= rank < self.size:
+            raise DistError(f"rank {rank} outside 0..{self.size - 1}")
+        return LoopbackTransport(rank, self, timeout)
+
+
+class LoopbackTransport(Transport):
+    """Deterministic in-process transport over a :class:`LoopbackFabric`."""
+
+    buffered = True  # SimpleQueue puts never block
+
+    def __init__(
+        self, rank: int, fabric: LoopbackFabric, timeout: float
+    ) -> None:
+        super().__init__(rank, fabric.size)
+        self._fabric = fabric
+        self._timeout = timeout
+
+    def send(self, dst: int, payload: bytes) -> None:
+        self._fabric._queues[dst][self.rank].put(payload)
+        self._account(payload)
+
+    def recv(self, src: int) -> bytes:
+        try:
+            item = self._fabric._queues[self.rank][src].get(
+                timeout=self._timeout
+            )
+        except queue.Empty:
+            raise TransportError(
+                f"rank {self.rank}: no frame from rank {src} within "
+                f"{self._timeout}s"
+            ) from None
+        if item is _POISON:
+            raise TransportError(
+                f"rank {self.rank}: peer rank {src} aborted"
+            )
+        return item
+
+    def abort(self) -> None:
+        for dst in range(self.size):
+            if dst != self.rank:
+                self._fabric._queues[dst][self.rank].put(_POISON)
+
+
+# ---------------------------------------------------------------------------
+# tcp: length-prefixed frames over a localhost mesh
+# ---------------------------------------------------------------------------
+def open_listener(host: str = "127.0.0.1") -> Tuple[socket.socket, int]:
+    """Bind an ephemeral-port listener; returns ``(socket, port)``.
+
+    The rank runtime binds *before* reporting its port to the driver,
+    so by the time any peer dials, the listener is already accepting.
+    """
+    listener = socket.create_server((host, 0))
+    return listener, listener.getsockname()[1]
+
+
+def _recv_exact(sock: socket.socket, n: int, peer: int) -> bytes:
+    chunks = []
+    got = 0
+    try:
+        while got < n:
+            chunk = sock.recv(n - got)
+            if not chunk:
+                raise TransportError(
+                    f"peer rank {peer} closed the connection "
+                    f"({got}/{n} bytes of the current frame)"
+                )
+            chunks.append(chunk)
+            got += len(chunk)
+    except OSError as exc:
+        raise TransportError(
+            f"receive from rank {peer} failed: {exc}"
+        ) from exc
+    return b"".join(chunks)
+
+
+class TcpTransport(Transport):
+    """Length-prefixed framed sockets over a localhost full mesh.
+
+    Wire format per message: an 8-byte little-endian unsigned payload
+    length (:data:`FRAME_HEADER`) followed by the raw payload bytes.
+    One TCP connection per rank pair; both directions of a pair share
+    the one socket (TCP is full duplex, and each exchange round moves
+    exactly one frame per direction per pair, so no tagging is needed).
+    """
+
+    buffered = False  # sendall can block until the peer drains
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        peers: Dict[int, socket.socket],
+    ) -> None:
+        super().__init__(rank, size)
+        self._peers = peers
+
+    @classmethod
+    def connect_mesh(
+        cls,
+        rank: int,
+        size: int,
+        ports: List[int],
+        listener: socket.socket,
+        host: str = "127.0.0.1",
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> "TcpTransport":
+        """Build the full mesh from the driver's gathered port map.
+
+        Rank ``r`` dials every rank ``s < r`` (announcing itself with
+        an 8-byte :data:`HELLO` frame) and accepts one connection from
+        every rank ``s > r``, identifying each by its hello.  The
+        listener is closed once the mesh is complete.
+        """
+        peers: Dict[int, socket.socket] = {}
+        try:
+            listener.settimeout(timeout)
+            for s in range(rank):
+                sock = socket.create_connection(
+                    (host, ports[s]), timeout=timeout
+                )
+                peers[s] = sock
+                sock.settimeout(timeout)
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                sock.sendall(HELLO.pack(rank))
+            for _ in range(size - 1 - rank):
+                sock, _addr = listener.accept()
+                sock.settimeout(timeout)
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                (peer,) = HELLO.unpack(_recv_exact(sock, HELLO.size, -1))
+                if not rank < peer < size or peer in peers:
+                    raise TransportError(
+                        f"rank {rank}: bad hello from peer {peer}"
+                    )
+                peers[peer] = sock
+        except (OSError, TransportError) as exc:
+            for sock in peers.values():
+                _close_quietly(sock)
+            listener.close()
+            if isinstance(exc, TransportError):
+                raise
+            raise TransportError(
+                f"rank {rank}: mesh connect failed: {exc}"
+            ) from exc
+        listener.close()
+        return cls(rank, size, peers)
+
+    def send(self, dst: int, payload: bytes) -> None:
+        try:
+            self._peers[dst].sendall(FRAME_HEADER.pack(len(payload)) + payload)
+        except OSError as exc:
+            raise TransportError(
+                f"send to rank {dst} failed: {exc}"
+            ) from exc
+        self._account(payload)
+
+    def recv(self, src: int) -> bytes:
+        sock = self._peers[src]
+        (length,) = FRAME_HEADER.unpack(
+            _recv_exact(sock, FRAME_HEADER.size, src)
+        )
+        return _recv_exact(sock, length, src)
+
+    def abort(self) -> None:
+        # closing our end resets every pair: peers blocked in recv see
+        # EOF and fail fast instead of waiting out their timeout
+        self.close()
+
+    def close(self) -> None:
+        for sock in self._peers.values():
+            _close_quietly(sock)
+        self._peers = {}
+
+
+def _close_quietly(sock: Optional[socket.socket]) -> None:
+    if sock is None:
+        return
+    try:
+        sock.close()
+    except OSError:  # pragma: no cover - close never matters here
+        pass

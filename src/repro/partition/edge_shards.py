@@ -210,6 +210,32 @@ def plan_edge_shards(
     return EdgeShardPlan([0] + [int(c) for c in cuts] + [m])
 
 
+def route_dead_triangles(bounds, stride: int, tris, e1, e2, e3):
+    """Route dead triangles to the owner shard(s) of their partner edges.
+
+    The exactly-once convention both peels share (numpy-only, like the
+    peels themselves): each triangle in ``tris`` goes to every shard
+    owning at least one of its partner edges, *once per shard*, via a
+    ``np.unique`` over ``owner * stride + triangle`` keys — change the
+    key scheme here and the shared-memory owner-computes peel
+    (:func:`repro.core.parallel.run_static_wave_peel`) and the
+    distributed rank peel (:meth:`repro.dist.rank.Rank.run`) stay in
+    lockstep.  ``bounds`` is the plan's ``num_shards + 1`` int64 bound
+    array, ``stride`` any value ``> max(tris)`` (the triangle count),
+    ``e1``/``e2``/``e3`` the triangle index's edge columns (arrays or
+    mmaps).  Returns ``num_shards`` sorted arrays; piece ``s`` holds
+    the triangle ids with a partner edge in shard ``s``.
+    """
+    partners = _np.concatenate((e1[tris], e2[tris], e3[tris]))
+    owner = _np.searchsorted(bounds, partners, side="right") - 1
+    key = _np.unique(owner * stride + _np.tile(tris, 3))
+    owners = key // stride
+    shard_ids = _np.arange(1, len(bounds) - 1, dtype=_np.int64)
+    return _np.split(
+        key - owners * stride, _np.searchsorted(owners, shard_ids)
+    )
+
+
 def edge_shard_source(tptr) -> PartitionSource:
     """A :class:`PartitionSource` over edge ids with incidence degrees.
 

@@ -76,6 +76,20 @@ class TestDecompose:
         ]) == 0
         assert out.read_text() == reference.read_text()
 
+    @pytest.mark.parametrize("transport", ["loopback", "tcp"])
+    def test_dist_method_matches_flat(self, graph_file, tmp_path, transport):
+        out = tmp_path / "phi.txt"
+        assert main([
+            "decompose", str(graph_file), "-o", str(out),
+            "--method", "dist", "--ranks", "2", "--transport", transport,
+        ]) == 0
+        reference = tmp_path / "flat.txt"
+        assert main([
+            "decompose", str(graph_file), "-o", str(reference),
+            "--method", "flat",
+        ]) == 0
+        assert out.read_text() == reference.read_text()
+
     def test_jobs_rejected_without_parallel(self, graph_file, capsys):
         assert main([
             "decompose", str(graph_file), "--method", "flat", "--jobs", "2",
@@ -88,6 +102,24 @@ class TestDecompose:
             "--shards", "static",
         ]) == 2
         assert "--shards only applies" in capsys.readouterr().err
+
+    def test_ranks_rejected_without_dist(self, graph_file, capsys):
+        assert main([
+            "decompose", str(graph_file), "--method", "parallel",
+            "--ranks", "2",
+        ]) == 2
+        assert "--ranks only applies to --method dist" in (
+            capsys.readouterr().err
+        )
+
+    def test_transport_rejected_without_dist(self, graph_file, capsys):
+        assert main([
+            "decompose", str(graph_file), "--method", "flat",
+            "--transport", "tcp",
+        ]) == 2
+        assert "--transport only applies to --method dist" in (
+            capsys.readouterr().err
+        )
 
     def test_external_flags_rejected_on_fastpath(self, graph_file, capsys):
         assert main([

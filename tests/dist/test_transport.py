@@ -1,0 +1,183 @@
+"""Unit tests for the dist transports and exchange primitives.
+
+Both fabrics are driven through the same scenarios by running one
+thread per rank (TCP ranks are threads *here* — the sockets neither
+know nor care; real process fan-out is covered by the driver tests in
+``test_dist.py``), so every assertion below pins behavior the two
+implementations must share: alltoallv/allgather contents, empty
+frames, byte accounting, and fail-fast peer-death semantics.
+"""
+
+import threading
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.dist import (  # noqa: E402  (needs numpy first)
+    LoopbackFabric,
+    TcpTransport,
+    TransportError,
+    allgather,
+    alltoallv,
+    open_listener,
+)
+
+
+def run_ranks(size, make_transport, fn):
+    """Run ``fn(rank, transport)`` on one thread per rank.
+
+    Returns the per-rank results; re-raises the first failure after
+    every thread has been unblocked (a failing rank aborts its
+    transport, exactly like the driver's rank body).
+    """
+    results = [None] * size
+    failures = []
+
+    def body(r):
+        tp = make_transport(r)
+        try:
+            results[r] = fn(r, tp)
+        except BaseException as exc:
+            failures.append(exc)
+            tp.abort()
+        finally:
+            tp.close()
+
+    threads = [
+        threading.Thread(target=body, args=(r,), daemon=True)
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+        assert not t.is_alive(), "rank thread failed to finish"
+    if failures:
+        # a failing rank poisons its peers, whose exchanges then raise
+        # TransportError; surface the root cause, as the driver does
+        primary = [e for e in failures if not isinstance(e, TransportError)]
+        raise (primary or failures)[0]
+    return results
+
+
+def loopback_maker(size):
+    fabric = LoopbackFabric(size)
+    return lambda r: fabric.endpoint(r, timeout=10)
+
+
+def tcp_maker(size):
+    listeners = [open_listener() for _ in range(size)]
+    ports = [port for (_listener, port) in listeners]
+    return lambda r: TcpTransport.connect_mesh(
+        r, size, ports, listeners[r][0], timeout=10
+    )
+
+
+MAKERS = {"loopback": loopback_maker, "tcp": tcp_maker}
+
+
+@pytest.fixture(params=sorted(MAKERS))
+def maker(request):
+    return MAKERS[request.param]
+
+
+class TestExchange:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4])
+    def test_alltoallv_roundtrip(self, maker, size):
+        """Rank r's inbox from src must be exactly src's outbox to r."""
+
+        def body(r, tp):
+            out = [
+                np.array([100 * r + dst, r], dtype=np.int64)
+                for dst in range(size)
+            ]
+            return alltoallv(tp, out)
+
+        inboxes = run_ranks(size, maker(size), body)
+        for r, inbox in enumerate(inboxes):
+            for src in range(size):
+                assert inbox[src].tolist() == [100 * src + r, src]
+
+    def test_alltoallv_variable_lengths_and_empties(self, maker):
+        """Buffers of different lengths — including empty — round-trip."""
+        size = 3
+
+        def body(r, tp):
+            out = [
+                np.arange(r * dst, dtype=np.int64)  # dst 0 gets empty
+                for dst in range(size)
+            ]
+            return alltoallv(tp, out)
+
+        inboxes = run_ranks(size, maker(size), body)
+        for r, inbox in enumerate(inboxes):
+            for src in range(size):
+                assert inbox[src].tolist() == list(range(src * r))
+
+    def test_allgather_rows(self, maker):
+        size = 3
+
+        def body(r, tp):
+            return allgather(tp, (r, r * r, 7))
+
+        gathered = run_ranks(size, maker(size), body)
+        expected = [[r, r * r, 7] for r in range(size)]
+        for table in gathered:
+            assert table.tolist() == expected
+
+    def test_outbox_count_is_checked(self, maker):
+        def body(r, tp):
+            with pytest.raises(ValueError):
+                alltoallv(tp, [np.zeros(1, dtype=np.int64)])  # 1 != 2
+            # the mesh must still be usable for a well-formed round
+            return allgather(tp, (r,)).tolist()
+
+        assert run_ranks(2, maker(2), body) == [[[0], [1]], [[0], [1]]]
+
+    def test_bytes_accounting(self, maker):
+        """Both fabrics charge payload + 8-byte header per frame."""
+        size = 2
+
+        def body(r, tp):
+            alltoallv(tp, [np.arange(4, dtype=np.int64)] * size)
+            return tp.bytes_sent, tp.frames_sent
+
+        for sent, frames in run_ranks(size, maker(size), body):
+            assert frames == 1  # the self-message never hits the wire
+            assert sent == 4 * 8 + 8
+
+    def test_single_rank_needs_no_wire(self, maker):
+        def body(r, tp):
+            inbox = alltoallv(tp, [np.array([5], dtype=np.int64)])
+            return inbox[0].tolist(), tp.bytes_sent
+
+        assert run_ranks(1, maker(1), body) == [([5], 0)]
+
+
+class TestFailureSemantics:
+    def test_aborted_peer_raises_transport_error(self, maker):
+        """A rank dying mid-protocol must fail its peer, not hang it."""
+        size = 2
+
+        def body(r, tp):
+            if r == 0:
+                raise RuntimeError("rank 0 dies before sending")
+            tp.recv(0)  # must unblock with an error, not wait forever
+
+        with pytest.raises(RuntimeError, match="rank 0 dies"):
+            run_ranks(size, maker(size), body)
+
+    def test_loopback_recv_timeout(self):
+        fabric = LoopbackFabric(2)
+        tp = fabric.endpoint(0, timeout=0.05)
+        with pytest.raises(TransportError, match="no frame"):
+            tp.recv(1)
+
+    def test_tcp_close_is_idempotent(self):
+        def body(r, tp):
+            tp.close()
+            tp.close()
+            return True
+
+        assert run_ranks(2, tcp_maker(2), body) == [True, True]

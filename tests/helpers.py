@@ -20,6 +20,16 @@ from hypothesis import strategies as st
 from repro.datasets import erdos_renyi, powerlaw_graph, star_heavy_graph
 from repro.graph import Graph
 
+#: the (ranks, transport) matrix the dist parity sweeps cover: every
+#: rank count the acceptance bar names, on both fabrics.  Loopback
+#: first — it is cheap, so a genuine peel bug fails there before the
+#: process-spawning TCP configurations even start.
+DIST_SWEEP: Tuple[Tuple[int, str], ...] = tuple(
+    (ranks, transport)
+    for transport in ("loopback", "tcp")
+    for ranks in (1, 2, 4)
+)
+
 
 def random_graph(n: int, p: float, seed: int) -> Graph:
     """Seeded G(n, p) used by deterministic randomized tests."""

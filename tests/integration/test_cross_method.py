@@ -27,7 +27,7 @@ from repro.datasets import (
 from repro.exio import MemoryBudget
 from repro.graph import Graph
 
-from helpers import peel_graphs, random_graph, small_edge_lists
+from helpers import DIST_SWEEP, peel_graphs, random_graph, small_edge_lists
 from oracles import brute_trussness
 
 FAMILIES = {
@@ -51,6 +51,10 @@ class TestAllMethodsAgree:
         assert truss_decomposition(g, method="mapreduce") == ref
         assert (
             truss_decomposition(g, method="parallel", jobs=2, shards="static")
+            == ref
+        )
+        assert (
+            truss_decomposition(g, method="dist", ranks=2)
             == ref
         )
         for units in (24, 200):
@@ -93,6 +97,30 @@ class TestRandomizedParityProperty:
                 )
                 assert dict(td.trussness) == oracle, (jobs, shards)
                 assert td == flat, (jobs, shards)
+
+    @settings(
+        max_examples=3,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(peel_graphs())
+    def test_dist_matches_brute_oracle(self, g):
+        """The distributed peel across :data:`helpers.DIST_SWEEP`.
+
+        Every (ranks, transport) configuration the acceptance bar
+        names must reproduce the brute oracle *and* equal the flat
+        engine's map bit for bit.  TCP configurations spawn real rank
+        processes per example, so examples are few but each sweeps the
+        whole matrix.
+        """
+        oracle = brute_trussness(g)
+        flat = truss_decomposition(g, method="flat")
+        for ranks, transport in DIST_SWEEP:
+            td = truss_decomposition(
+                g, method="dist", ranks=ranks, transport=transport
+            )
+            assert dict(td.trussness) == oracle, (ranks, transport)
+            assert td == flat, (ranks, transport)
 
     @settings(max_examples=10, deadline=None)
     @given(peel_graphs())
