@@ -1,0 +1,210 @@
+"""Ablation: streaming counting-scatter index build vs the legacy argsort.
+
+The tri-index PR's claims, measured and machine-recorded:
+
+* the streaming two-pass builder produces the *same index* as the
+  seed's argsort construction — ``e1``/``e2``/``e3``/``tptr``/``sup``
+  bit-identical, ``tinc`` windows identical once the legacy slots are
+  put into the builder's canonical ascending-triangle-id order
+  (asserted before any time is reported);
+* peak extra memory drops: the legacy build holds the three triangle
+  columns, their 3·|△G| concatenation, the global argsort result and
+  the tiled id array simultaneously (~15·|△G| int64 slots), the
+  streaming RAM build holds only the 6·|△G|-slot index itself plus
+  O(m + chunk) scratch, and the mmap build keeps even the index out of
+  the heap — O(m + chunk) total.  On every triangle-dense dataset
+  (|△G| comfortably above the wedge chunk) the ordering
+  ``mmap < ram < legacy`` is asserted on the measured tracemalloc
+  peaks;
+* wall time is compared, not hard-gated: the streaming build
+  enumerates wedges twice where the legacy build enumerates once and
+  sorts at triangle scale — the JSON records whichever way that trade
+  lands per dataset.
+
+``BENCH_triindex.json`` (path overridable via
+``REPRO_BENCH_TRIINDEX_JSON``) is the machine-readable artifact CI
+uploads next to the other BENCH files: per-dataset build seconds and
+peak extra bytes for legacy/ram/mmap, triangle counts, and the chunk
+setting.
+
+Run explicitly (the tier-1 suite collects only tests/)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_ablation_tri_index.py -s
+"""
+
+import json
+import os
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import print_table
+from repro.core.flat import _as_csr
+from repro.datasets import MASSIVE_DATASETS, load_dataset
+from repro.triangles.index_builder import (
+    TriangleIndex,
+    _WedgeDAG,
+    build_triangle_index,
+)
+
+#: wedge-buffer cap for the comparison — small enough that CI-scale
+#: datasets stream through many chunks, so the O(m + chunk) claim is
+#: actually exercised rather than degenerating to one chunk
+CHUNK = 16_384
+
+#: the memory-ordering assertion only fires where the index dwarfs the
+#: chunk scratch; below this the peaks are all scratch-dominated noise
+MIN_ASSERT_TRIANGLES = 100_000
+
+
+def _json_path() -> Path:
+    return Path(
+        os.environ.get("REPRO_BENCH_TRIINDEX_JSON", "BENCH_triindex.json")
+    )
+
+
+def _legacy_argsort_index(csr, m):
+    """The seed's construction, kept here as the 'before' yardstick.
+
+    Materialize every triangle column in RAM, concatenate all three,
+    and derive ``tinc`` with one global stable argsort over 3·|△G|
+    slots — exactly what ``repro.core.flat._triangle_index`` did before
+    the streaming builder replaced it.
+    """
+    parts = list(_WedgeDAG(csr).iter_triangle_chunks(CHUNK))
+    empty = np.zeros(0, dtype=np.int64)
+    if parts:
+        e1, e2, e3 = (np.concatenate(cols) for cols in zip(*parts))
+    else:
+        e1 = e2 = e3 = empty
+    n_tri = len(e1)
+    inc_edge = np.concatenate((e1, e2, e3))
+    sup = np.bincount(inc_edge, minlength=m)
+    tptr = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(sup, out=tptr[1:])
+    tinc = np.tile(np.arange(n_tri, dtype=np.int64), 3)[
+        np.argsort(inc_edge, kind="stable")
+    ]
+    return e1, e2, e3, tptr, tinc, sup
+
+
+def _measured(fn):
+    """Run a build under tracemalloc; (result, seconds, peak_bytes)."""
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = fn()
+    seconds = time.perf_counter() - start
+    _cur, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, seconds, peak
+
+
+def _canonical_legacy_tinc(tptr, tinc):
+    """Legacy tinc re-sorted into the builder's canonical window order.
+
+    Both layouts group slots by edge with identical window boundaries
+    (``tptr``); the builder additionally fixes ascending triangle id
+    inside each window, so sorting the legacy slots by
+    ``(edge, triangle id)`` must reproduce the streamed array exactly.
+    """
+    edge_of_slot = np.repeat(
+        np.arange(len(tptr) - 1, dtype=np.int64), np.diff(tptr)
+    )
+    return tinc[np.lexsort((tinc, edge_of_slot))]
+
+
+def test_streaming_vs_legacy_argsort(scale, tmp_path):
+    rows = []
+    for name in MASSIVE_DATASETS:
+        g = load_dataset(name, scale=scale)
+        csr = _as_csr(g)
+        m = csr.num_edges
+        legacy, legacy_s, legacy_peak = _measured(
+            lambda: _legacy_argsort_index(csr, m)
+        )
+        e1, e2, e3, tptr, tinc, sup = legacy
+        ram, ram_s, ram_peak = _measured(
+            lambda: build_triangle_index(csr, chunk=CHUNK)
+        )
+        mmap_dir = tmp_path / name
+        mmap_dir.mkdir()
+        mm, mmap_s, mmap_peak = _measured(
+            lambda: build_triangle_index(
+                csr, storage="mmap", dirpath=mmap_dir, chunk=CHUNK
+            )
+        )
+        # parity before any time is reported: same index, both storages
+        for built in (ram, mm):
+            assert np.array_equal(np.asarray(built.e1), e1), name
+            assert np.array_equal(np.asarray(built.e2), e2), name
+            assert np.array_equal(np.asarray(built.e3), e3), name
+            assert np.array_equal(np.asarray(built.tptr), tptr), name
+            assert np.array_equal(built.initial_supports(), sup), name
+            assert np.array_equal(
+                np.asarray(built.tinc),
+                _canonical_legacy_tinc(tptr, tinc),
+            ), name
+        # and the on-disk layout is the ranks' read format
+        reopened = TriangleIndex.open(mmap_dir)
+        assert np.array_equal(
+            np.asarray(reopened.tinc), np.asarray(mm.tinc)
+        ), name
+        n_tri = ram.num_triangles
+        rows.append(
+            {
+                "dataset": name,
+                "|E|": m,
+                "triangles": n_tri,
+                "legacy (s)": legacy_s,
+                "ram (s)": ram_s,
+                "mmap (s)": mmap_s,
+                "legacy peak (B)": legacy_peak,
+                "ram peak (B)": ram_peak,
+                "mmap peak (B)": mmap_peak,
+                "ram peak vs legacy": ram_peak / max(legacy_peak, 1),
+                "mmap peak vs legacy": mmap_peak / max(legacy_peak, 1),
+            }
+        )
+    print_table(
+        "tri_index",
+        rows,
+        "Ablation: streaming counting-scatter index build vs legacy argsort",
+    )
+
+    doc = {
+        "suite": "bench_ablation_tri_index",
+        "scale": scale,
+        "wedge_chunk": CHUNK,
+        "datasets": rows,
+    }
+    dense = [r for r in rows if r["triangles"] >= MIN_ASSERT_TRIANGLES]
+    if dense:
+        worst = max(dense, key=lambda r: r["mmap peak vs legacy"])
+        doc["densest_note"] = (
+            f"on {worst['dataset']} ({worst['triangles']} triangles) the "
+            f"streamed mmap build peaked at "
+            f"{worst['mmap peak vs legacy']:.3f}x the legacy argsort "
+            f"build's heap, ram at {worst['ram peak vs legacy']:.3f}x"
+        )
+    else:
+        doc["note"] = (
+            "no dataset reached the triangle floor at this scale; peak "
+            "ordering not asserted (all builds are scratch-dominated)"
+        )
+    path = _json_path()
+    path.write_text(json.dumps(doc, indent=2, default=float) + "\n")
+    print(f"\nwrote {path} (chunk={CHUNK})")
+
+    # the memory trajectory the tentpole claims, where the index is
+    # large enough to dominate the chunk scratch: streaming-to-RAM
+    # strictly beats the argsort build, streaming-to-mmap beats both
+    for row in dense:
+        assert row["ram peak (B)"] < row["legacy peak (B)"], row
+        assert row["mmap peak (B)"] < row["ram peak (B)"], row
+        # the mmap build keeps the index itself out of the heap: its
+        # peak (O(m + chunk) scratch) must undercut even the bare
+        # 6·|△G| int64 slots a RAM-resident index would pin
+        assert row["mmap peak (B)"] < 6 * row["triangles"] * 8, row

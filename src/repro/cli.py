@@ -20,6 +20,9 @@ and the static owner-computes edge-id shards.  For ``--method dist``,
 ``--ranks N`` sets the rank count (one owned static edge shard per
 rank) and ``--transport loopback|tcp`` picks the message fabric —
 in-process queues or rank processes over framed localhost sockets.
+``--index-storage ram|mmap`` selects where the streamed triangle-index
+builder puts the O(|△G|) incidence index (default: auto by size;
+``mmap`` holds driver memory at O(m) however many triangles).
 """
 
 from __future__ import annotations
@@ -71,6 +74,13 @@ def cmd_decompose(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.index_storage is not None and args.method not in CSR_METHODS:
+        print(
+            f"error: --index-storage only applies to --method "
+            f"{'|'.join(CSR_METHODS)} (got --method {args.method})",
+            file=sys.stderr,
+        )
+        return 2
     if args.method in CSR_METHODS and (
         args.top is not None or args.memory_fraction is not None
     ):
@@ -97,6 +107,7 @@ def cmd_decompose(args: argparse.Namespace) -> int:
         td = truss_decomposition(
             csr, method=args.method, jobs=args.jobs, shards=args.shards,
             ranks=args.ranks, transport=args.transport,
+            index_storage=args.index_storage,
         )
         elapsed = time.perf_counter() - start
     else:
@@ -244,6 +255,19 @@ def build_parser() -> argparse.ArgumentParser:
             "ranks as in-process queue-connected threads, 'tcp' as "
             "processes meshed over length-prefixed localhost sockets "
             "(default: loopback)"
+        ),
+    )
+    p.add_argument(
+        "--index-storage",
+        default=None,
+        choices=["ram", "mmap"],
+        help=(
+            "triangle-index destination for the CSR methods: 'ram' "
+            "keeps it in memory (shared-memory blocks under --method "
+            "parallel), 'mmap' streams it to disk and maps it "
+            "read-only — O(m) driver memory however many triangles "
+            "(default: auto by size; --method dist always reads it "
+            "from disk)"
         ),
     )
     p.add_argument(

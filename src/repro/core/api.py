@@ -35,8 +35,12 @@ static edge shard, exchanging candidate/dead-triangle buffers over
 in-process queues (``transport="loopback"``) or length-prefixed
 localhost sockets (``transport="tcp"``), with the triangle dedupe
 hash-partitioned across ranks so no node holds the global triangle
-state.  All three accept a ready
-:class:`~repro.graph.csr.CSRGraph` in place of a ``Graph``, and
+state.  All three peel over one shared triangle-index pipeline — the
+streaming two-pass counting builder of
+:mod:`repro.triangles.index_builder`, whose destination the
+``index_storage`` knob selects (in-RAM arrays or the on-disk mmap
+layout, holding build memory at O(m + chunk)).  All three accept a
+ready :class:`~repro.graph.csr.CSRGraph` in place of a ``Graph``, and
 :func:`decompose_file` feeds them straight from an edge-list file via
 the dict-free streaming ingest.
 """
@@ -86,6 +90,7 @@ def truss_decomposition(
     shards: Optional[str] = None,
     ranks: Optional[int] = None,
     transport: Optional[str] = None,
+    index_storage: Optional[str] = None,
 ) -> TrussDecomposition:
     """Compute the truss decomposition of ``g``.
 
@@ -111,6 +116,11 @@ def truss_decomposition(
         transport: with ``method='dist'``, the message fabric:
             ``"loopback"`` (default, in-process queues) or ``"tcp"``
             (rank processes over framed localhost sockets).
+        index_storage: for the CSR methods (:data:`CSR_METHODS`), the
+            triangle index's destination — ``"ram"`` or ``"mmap"``
+            (streamed to disk through the counting builder and mapped
+            read-only).  ``None`` is auto: by size for flat/parallel,
+            always on disk for dist (whose ranks mmap it regardless).
 
     Returns:
         A :class:`TrussDecomposition`; for ``top_t`` runs it is partial
@@ -126,6 +136,8 @@ def truss_decomposition(
         name for name, value, owner in gated
         if value is not None and method != owner
     ]
+    if index_storage is not None and method not in CSR_METHODS:
+        bad.append("index_storage")
     if bad:
         raise DecompositionError(
             f"method {method!r} does not accept: {', '.join(bad)}"
@@ -140,13 +152,18 @@ def truss_decomposition(
         return truss_decomposition_improved(g)
     if method == "flat":
         _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
-        return truss_decomposition_flat(g)
+        return truss_decomposition_flat(g, index_storage=index_storage)
     if method == "parallel":
         _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
-        return truss_decomposition_parallel(g, jobs=jobs, shards=shards)
+        return truss_decomposition_parallel(
+            g, jobs=jobs, shards=shards, index_storage=index_storage
+        )
     if method == "dist":
         _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
-        return truss_decomposition_dist(g, ranks=ranks, transport=transport)
+        return truss_decomposition_dist(
+            g, ranks=ranks, transport=transport,
+            index_storage=index_storage,
+        )
     if method == "baseline":
         _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
         return truss_decomposition_baseline(g)
@@ -201,6 +218,7 @@ def decompose_file(
     shards: Optional[str] = None,
     ranks: Optional[int] = None,
     transport: Optional[str] = None,
+    index_storage: Optional[str] = None,
     **kwargs,
 ) -> TrussDecomposition:
     """Truss-decompose an edge-list file, riding the ingest fast path.
@@ -217,13 +235,14 @@ def decompose_file(
         csr = CSRGraph.from_edge_list_file(path)
         return truss_decomposition(
             csr, method=method, jobs=jobs, shards=shards, ranks=ranks,
-            transport=transport, **kwargs
+            transport=transport, index_storage=index_storage, **kwargs
         )
     from repro.graph.io import read_edge_list
 
     return truss_decomposition(
         read_edge_list(path), method=method, jobs=jobs, shards=shards,
-        ranks=ranks, transport=transport, **kwargs
+        ranks=ranks, transport=transport, index_storage=index_storage,
+        **kwargs
     )
 
 

@@ -4,10 +4,13 @@ The driver's whole job is the paper's "massive networks" deployment
 shape: build the shard plan, write the triangle index once for the
 ranks to mmap, launch one :class:`~repro.dist.rank.Rank` per shard
 over the chosen transport, and stitch the returned ``phi`` slices
-back together.  It holds *no* peel state while the ranks run — the
-level/wave decisions, the support arrays and the hash-partitioned
-triangle dedupe all live rank-side (see :mod:`repro.dist` for the
-wire protocol).
+back together.  The index is *streamed* into its on-disk layout by the
+two-pass counting builder (:mod:`repro.triangles.index_builder`,
+``index_storage="mmap"``), so the driver's peak memory is O(m + chunk)
+— it never materializes a triangle-length array — and it holds *no*
+peel state while the ranks run: the level/wave decisions, the support
+arrays and the hash-partitioned triangle dedupe all live rank-side
+(see :mod:`repro.dist` for the wire protocol).
 
 Two launch modes, selected by ``transport``:
 
@@ -41,10 +44,11 @@ from repro.core.flat import (
     _as_csr,
     _initial_supports_python,
     _peel_wedge_bisect,
-    _triangle_index,
+    resolve_index_storage,
     result_from_phi,
 )
 from repro.dist.rank import Rank, TriangleIndex
+from repro.triangles.index_builder import build_triangle_index
 from repro.dist.transport import (
     DEFAULT_TIMEOUT,
     DistError,
@@ -330,6 +334,7 @@ def truss_decomposition_dist(
     g,
     ranks: Optional[int] = None,
     transport: Optional[str] = None,
+    index_storage: Optional[str] = None,
     *,
     _kill_rank: Optional[int] = None,
 ) -> TrussDecomposition:
@@ -346,15 +351,27 @@ def truss_decomposition_dist(
         transport: one of :data:`TRANSPORTS` — ``"loopback"`` (the
             default: in-process queue fabric) or ``"tcp"`` (rank
             processes over framed localhost sockets).
+        index_storage: how the driver builds the triangle index the
+            ranks mmap.  ``"mmap"`` (the default, also what ``None``
+            resolves to) streams it straight into the on-disk layout —
+            the driver never holds a triangle-length array; ``"ram"``
+            builds the bundle in RAM first and writes it whole (only
+            sensible on small graphs).
         _kill_rank: fault-injection hook for the tests — the named
             rank dies mid-protocol (``os._exit`` under tcp, an
             exception under loopback) and the driver must surface a
             clean :class:`~repro.dist.transport.DistError`.
 
     Returns the identical trussness map as ``method="flat"`` — neither
-    the rank count nor the transport changes the wave schedule.
+    the rank count, the transport nor the index storage changes the
+    wave schedule.
     """
     mode = _resolve_transport(transport)
+    # ranks always read the index from disk; "auto" therefore means
+    # "stream it there without a RAM detour" for this method
+    storage = resolve_index_storage(index_storage)
+    if storage == "auto":
+        storage = "mmap"
     csr = _as_csr(g)
     m = csr.num_edges
     stats = DecompositionStats(method="dist")
@@ -369,17 +386,25 @@ def truss_decomposition_dist(
         return result_from_phi(csr, phi, k if m else 2, stats)
     nranks = _resolve_ranks(ranks, m)
     stats.record("ranks", nranks)
+    stats.record("index_storage", storage)
     if not m:
         return result_from_phi(csr, array("q"), 2, stats)
-    e1, e2, e3, tptr, tinc, _sup = _triangle_index(csr, m)
-    n_tri = len(e1)
-    plan = plan_edge_shards(m, nranks, weights=_np.diff(tptr))
-    bounds = [int(b) for b in plan.bounds]
     with tempfile.TemporaryDirectory(prefix="repro-dist-") as tmp:
-        TriangleIndex.write(Path(tmp), e1, e2, e3, tptr, tinc)
-        # the ranks mmap the files; drop the driver's build copies so
-        # no single process keeps holding the whole index
-        del e1, e2, e3, tptr, tinc, _sup
+        if storage == "ram":
+            tri = build_triangle_index(csr)
+            TriangleIndex.write(
+                Path(tmp), tri.e1, tri.e2, tri.e3, tri.tptr, tri.tinc
+            )
+        else:
+            tri = build_triangle_index(csr, storage="mmap", dirpath=tmp)
+        n_tri = tri.num_triangles
+        # shard weights need only the O(m) incidence runs, so the
+        # driver's peel-time state is O(m) however large |△G| gets
+        plan = plan_edge_shards(m, nranks, weights=tri.initial_supports())
+        bounds = [int(b) for b in plan.bounds]
+        # the ranks mmap the files; drop the driver's handles so no
+        # single process keeps holding the whole index
+        del tri
         if mode == "tcp":
             phi, k, rank_stats = _run_tcp(
                 nranks, tmp, bounds, _kill_rank

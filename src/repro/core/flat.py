@@ -27,7 +27,11 @@ of dict-of-set adjacency:
 With numpy, steps 2-3 are replaced wholesale by :func:`_peel_waves`, a
 level-synchronous wave peel over the materialized triangle index in
 the shared-memory style of Kabir & Madduri — same unique trussness
-map, 2-3x faster than the improved method end to end.
+map, 2-3x faster than the improved method end to end.  The index
+itself comes from the streaming two-pass counting builder
+(:mod:`repro.triangles.index_builder`), in RAM or mmapped from disk
+(``index_storage``), so building it never costs a triangle-scale sort
+or concatenation.
 
 The result is bit-identical to the other in-memory methods; the flat
 integer substrate (``sup``/``order``/``pos``/``alive`` indexed by edge
@@ -42,86 +46,46 @@ dict-of-set round trip.
 
 from __future__ import annotations
 
+import tempfile
 from array import array
 from bisect import bisect_left
-from typing import List, Tuple
+from typing import Optional, Tuple
 
 from repro.core.decomposition import DecompositionStats, TrussDecomposition
+from repro.errors import DecompositionError
 from repro.graph.adjacency import Graph
 from repro.graph.csr import CSRGraph
+from repro.triangles.index_builder import (
+    INDEX_STORAGES,
+    TriangleIndex,
+    build_triangle_index,
+    count_edge_incidence,
+)
 
 try:  # optional accelerator; every code path has a stdlib fallback
     import numpy as _np
 except ImportError:  # pragma: no cover
     _np = None
 
-#: wedge-buffer cap for the vectorized triangle lister (~16 MB/array)
-_WEDGE_CHUNK = 2_000_000
 
+def resolve_index_storage(index_storage: Optional[str]) -> str:
+    """Validate the index-storage knob (``None`` means size-based auto).
 
-def _triangles_numpy(csr: CSRGraph):
-    """All triangles as three parallel edge-id arrays, via the rank DAG.
-
-    Vectorized compact-forward listing: orient each edge from lower to
-    higher ``(degree, id)`` rank; a triangle ``ra < rb < rc`` is closed
-    exactly once, at its wedge ``(a->b, b->c)``, by locating key
-    ``ra*n + rc`` among the sorted oriented-edge keys.  Wedges are
-    generated in bounded chunks so peak memory stays a few multiples of
-    ``_WEDGE_CHUNK``.  Returns ``(e_ab, e_bc, e_ac)``, one slot per
-    triangle.
+    Shared by the flat, parallel and dist front doors so the accepted
+    vocabulary (:data:`~repro.triangles.index_builder.INDEX_STORAGES`)
+    can never drift between methods.
     """
-    n = csr.num_vertices
-    indptr = _np.frombuffer(csr.indptr, dtype=_np.int64)
-    dst = _np.frombuffer(csr.indices, dtype=_np.int64)
-    eids = _np.frombuffer(csr.eids, dtype=_np.int64)
-    deg = _np.diff(indptr)
-    src = _np.repeat(_np.arange(n, dtype=_np.int64), deg)
-    order = _np.lexsort((_np.arange(n), deg))
-    rank = _np.empty(n, dtype=_np.int64)
-    rank[order] = _np.arange(n)
-    ra_all, rb_all = rank[src], rank[dst]
-    fwd = rb_all > ra_all
-    key = ra_all[fwd] * n + rb_all[fwd]
-    srt = _np.argsort(key)
-    key = key[srt]
-    ra = key // n  # == sorted oriented sources, in rank space
-    rb = key - ra * n
-    e_of = eids[fwd][srt]
-    total = len(key)
-    empty = _np.zeros(0, dtype=_np.int64)
-    if total == 0:
-        return empty, empty, empty
-    outdeg = _np.bincount(ra, minlength=n)
-    fptr = _np.concatenate((_np.zeros(1, dtype=_np.int64), _np.cumsum(outdeg)))
-    wc = outdeg[rb]  # wedges per oriented edge: tips are out(b)
-    cum = _np.concatenate((_np.zeros(1, dtype=_np.int64), _np.cumsum(wc)))
-    parts = []
-    t0 = 0
-    while t0 < total:
-        t1 = int(_np.searchsorted(cum, cum[t0] + _WEDGE_CHUNK, "right")) - 1
-        if t1 <= t0:
-            t1 = t0 + 1
-        w = wc[t0:t1]
-        n_wedges = int(cum[t1] - cum[t0])
-        if n_wedges == 0:
-            t0 = t1
-            continue
-        ab = _np.repeat(_np.arange(t0, t1, dtype=_np.int64), w)
-        offs = _np.arange(n_wedges, dtype=_np.int64) - _np.repeat(
-            cum[t0:t1] - cum[t0], w
+    if index_storage is None:
+        return "auto"
+    if index_storage not in INDEX_STORAGES:
+        raise DecompositionError(
+            f"unknown index storage {index_storage!r}; expected one of "
+            f"{INDEX_STORAGES}"
         )
-        bc = _np.repeat(fptr[rb[t0:t1]], w) + offs
-        want = ra[ab] * n + rb[bc]
-        at = _np.minimum(_np.searchsorted(key, want), total - 1)
-        hit = key[at] == want
-        parts.append((e_of[ab[hit]], e_of[bc[hit]], e_of[at[hit]]))
-        t0 = t1
-    if not parts:
-        return empty, empty, empty
-    return tuple(_np.concatenate(cols) for cols in zip(*parts))
+    return index_storage
 
 
-def _oriented_runs(csr: CSRGraph) -> Tuple[List[int], List[int], List[int]]:
+def _oriented_runs(csr: CSRGraph) -> Tuple[array, array, array]:
     """Degree-rank-oriented adjacency with parallel edge ids.
 
     Returns ``(optr, onbr, oeids)``: the out-run of the vertex of rank
@@ -130,32 +94,40 @@ def _oriented_runs(csr: CSRGraph) -> Tuple[List[int], List[int], List[int]]:
     the canonical edge id of each slot.  Storing ranks (not vertex ids)
     makes the intersection a plain sorted merge.
 
-    Built sort-free: visiting ranks in ascending order and appending
-    each one to its lower-ranked neighbors' runs leaves every run
-    already rank-sorted.
+    Built sort-free by two counting passes straight into flat
+    ``array('q')`` buffers (count out-degrees, then scatter through
+    fill cursors) — no per-vertex Python list pair ever exists.
+    Visiting ranks in ascending order and appending each one to its
+    lower-ranked neighbors' runs leaves every run already rank-sorted.
     """
     indptr, indices, eids = csr.indptr, csr.indices, csr.eids
     n = csr.num_vertices
+    m = len(indices) // 2
     vertex_of_rank = csr.degree_order()
     rank = array("q", [0]) * n
     for r, i in enumerate(vertex_of_rank):
         rank[i] = r
-    out_nbr: List[List[int]] = [[] for _ in range(n)]
-    out_eid: List[List[int]] = [[] for _ in range(n)]
+    optr = array("q", [0]) * (n + 1)
     for r in range(n):
         b = vertex_of_rank[r]
         for t in range(indptr[b], indptr[b + 1]):
             rw = rank[indices[t]]
             if rw < r:
-                out_nbr[rw].append(r)
-                out_eid[rw].append(eids[t])
-    optr: List[int] = [0] * (n + 1)
-    onbr: List[int] = []
-    oeids: List[int] = []
+                optr[rw + 1] += 1
+    for r in range(1, n + 1):
+        optr[r] += optr[r - 1]
+    fill = array("q", optr[:-1])
+    onbr = array("q", [0]) * m
+    oeids = array("q", [0]) * m
     for r in range(n):
-        onbr.extend(out_nbr[r])
-        oeids.extend(out_eid[r])
-        optr[r + 1] = len(onbr)
+        b = vertex_of_rank[r]
+        for t in range(indptr[b], indptr[b + 1]):
+            rw = rank[indices[t]]
+            if rw < r:
+                p = fill[rw]
+                onbr[p] = r
+                oeids[p] = eids[t]
+                fill[rw] = p + 1
     return optr, onbr, oeids
 
 
@@ -227,41 +199,17 @@ def _bin_sort(sup: array, m: int) -> Tuple[array, array, array]:
     return bin_start, order, pos
 
 
-def _triangle_index(csr: CSRGraph, m: int):
-    """Materialize the edge->triangle incidence index (numpy).
-
-    Returns ``(e1, e2, e3, tptr, tinc, sup)``: three parallel edge-id
-    columns (one slot per triangle), the CSR-style incidence pointers
-    ``tptr`` with slot array ``tinc`` (``tinc[tptr[e]:tptr[e+1]]`` are
-    the triangle ids containing edge ``e``), and the initial supports
-    (each edge's incidence count).  This is the O(|△G|) structure both
-    the serial wave peel and the shared-memory parallel peel run over.
-    """
-    e1, e2, e3 = _triangles_numpy(csr)
-    n_tri = len(e1)
-    inc_edge = _np.concatenate((e1, e2, e3))
-    sup = _np.bincount(inc_edge, minlength=m)
-    tptr = _np.zeros(m + 1, dtype=_np.int64)
-    _np.cumsum(sup, out=tptr[1:])
-    # incidence slot -> triangle id, grouped by edge
-    tinc = _np.tile(_np.arange(n_tri, dtype=_np.int64), 3)[
-        _np.argsort(inc_edge, kind="stable")
-    ]
-    return e1, e2, e3, tptr, tinc, sup
-
-
 def initial_supports(csr: CSRGraph) -> array:
     """Support of every edge, indexed by canonical edge id.
 
     The flat substrate's triangle-counting pass, exposed for reuse (the
-    semi-external baseline's support init rides it): vectorized
-    compact-forward listing with numpy, the merge-intersection pass
-    without.
+    semi-external baseline's support init rides it): the streaming
+    builder's counting pass with numpy (O(m + chunk) peak memory, no
+    triangle-length array), the merge-intersection pass without.
     """
     m = csr.num_edges
     if _np is not None and m:
-        e1, e2, e3 = _triangles_numpy(csr)
-        sup = _np.bincount(_np.concatenate((e1, e2, e3)), minlength=m)
+        sup, _n_tri = count_edge_incidence(csr)
         return array("q", sup.astype(_np.int64).tobytes())
     return _initial_supports_python(csr, m)
 
@@ -415,21 +363,20 @@ def run_wave_peel(
     }
 
 
-def _peel_waves(csr: CSRGraph, m: int) -> Tuple[array, int]:
-    """Serial wave peeling over the triangle index (numpy).
-
-    :func:`run_wave_peel` with the identity map — see its docstring
-    for the algorithm.  Costs O(|△G|) extra memory for the
-    materialized triangle index — the classic time/space trade of
-    shared-memory truss codes; the wedge-closing peel below is the
-    frugal fallback.
-    """
-    e1, e2, e3, tptr, tinc, sup = _triangle_index(csr, m)
+def _peel_over_index(
+    tri: TriangleIndex, m: int, stats: Optional[DecompositionStats]
+) -> Tuple[array, int]:
+    """:func:`run_wave_peel` with the identity map over a built index."""
+    e1, e2, e3 = tri.e1, tri.e2, tri.e3
+    tptr, tinc = tri.tptr, tri.tinc
     views = {
-        "sup": sup,
+        "sup": tri.initial_supports(),
         "alive": _np.ones(m, dtype=bool),
-        "tdead": _np.zeros(len(e1), dtype=bool),
+        "tdead": _np.zeros(tri.num_triangles, dtype=bool),
     }
+    if stats is not None:
+        stats.record("index_storage", tri.storage)
+        stats.record("triangles", tri.num_triangles)
     phi, k, _stats = run_wave_peel(
         m,
         views,
@@ -439,6 +386,33 @@ def _peel_waves(csr: CSRGraph, m: int) -> Tuple[array, int]:
         ),
     )
     return array("q", phi.tobytes()), k
+
+
+def _peel_waves(
+    csr: CSRGraph,
+    m: int,
+    index_storage: Optional[str] = None,
+    stats: Optional[DecompositionStats] = None,
+) -> Tuple[array, int]:
+    """Serial wave peeling over the streamed triangle index (numpy).
+
+    The index is built by the two-pass counting builder
+    (:func:`repro.triangles.index_builder.build_triangle_index`);
+    ``index_storage`` picks its destination — ``"ram"`` for plain
+    ndarrays (the classic time/space trade of shared-memory truss
+    codes), ``"mmap"`` to stream the O(|△G|) structure to disk and
+    peel over read-only maps, or ``None`` to let the builder decide by
+    size after the counting pass.  The wedge-closing peel below is the
+    index-free stdlib fallback.
+    """
+    mode = resolve_index_storage(index_storage)
+    if mode == "ram":
+        return _peel_over_index(build_triangle_index(csr), m, stats)
+    # "mmap" or "auto" (which may still choose ram — the tempdir is
+    # then simply empty): the on-disk index lives only for the peel
+    with tempfile.TemporaryDirectory(prefix="repro-triidx-") as tmp:
+        tri = build_triangle_index(csr, storage=mode, dirpath=tmp)
+        return _peel_over_index(tri, m, stats)
 
 
 def _peel_wedge_bisect(
@@ -563,17 +537,23 @@ def result_from_phi(
     )
 
 
-def truss_decomposition_flat(g) -> TrussDecomposition:
+def truss_decomposition_flat(
+    g, index_storage: Optional[str] = None
+) -> TrussDecomposition:
     """Run Algorithm 2 over flat edge arrays.
 
     ``g`` may be a :class:`Graph` (snapshotted, not modified) or a
-    :class:`CSRGraph` built by the streaming ingest.
+    :class:`CSRGraph` built by the streaming ingest.  ``index_storage``
+    picks the triangle index's destination (``"ram"``/``"mmap"``;
+    ``None``: auto by size) — the stdlib fallback peels without an
+    index and ignores it.
     """
+    resolve_index_storage(index_storage)  # validate eagerly, any path
     csr = _as_csr(g)
     m = csr.num_edges
     stats = DecompositionStats(method="flat")
     if _np is not None and m:
-        phi, k = _peel_waves(csr, m)
+        phi, k = _peel_waves(csr, m, index_storage, stats)
     else:
         sup = _initial_supports_python(csr, m)
         eu, ev = csr.edge_endpoints()

@@ -9,14 +9,21 @@ matches Jakkula & Karypis's batch formulation (arXiv:1908.10550).
 
 Layout
 ------
-The O(|△G|) triangle index (``e1``/``e2``/``e3`` edge columns, the
-``tptr``/``tinc`` edge->triangle incidence), the support array and the
-``alive``/``tdead`` bitmaps live in :mod:`multiprocessing.shared_memory`
-blocks wrapped as numpy views, so workers attach once (pool
-initializer) and never receive more than their slice of the current
-frontier over the IPC channel.  Zero-length arrays (a triangle-free
-graph has empty ``e1``/``tinc``/``tdead``) are never backed by a
-shared block at all — each worker materializes its own empty view.
+The mutable peel state — the support array and the ``alive``/``tdead``
+bitmaps (plus ``phi``/histogram rows in static mode) — lives in
+:mod:`multiprocessing.shared_memory` blocks wrapped as numpy views, so
+workers attach once (pool initializer) and never receive more than
+their slice of the current frontier over the IPC channel.  The
+read-only O(|△G|) triangle index (``e1``/``e2``/``e3`` edge columns,
+the ``tptr``/``tinc`` edge->triangle incidence) comes from the
+streaming counting builder (:mod:`repro.triangles.index_builder`) and
+travels by ``index_storage``: ``"ram"`` shares it through the same shm
+blocks, ``"mmap"`` streams it to disk and every process (coordinator
+and workers alike) maps the ``.npy`` files read-only — the page cache
+is the sharing medium and no triangle-length shm copy exists.
+Zero-length arrays (a triangle-free graph has empty
+``e1``/``tinc``/``tdead``) are never backed by a shared block at all —
+each worker materializes its own empty view.
 
 Wave protocols
 --------------
@@ -93,6 +100,7 @@ in ``BENCH_shards.json``.
 from __future__ import annotations
 
 import os
+import tempfile
 from array import array
 from typing import Dict, List, Optional, Tuple
 
@@ -103,7 +111,7 @@ from repro.core.flat import (
     _count_decrements_arrays,
     _initial_supports_python,
     _peel_wedge_bisect,
-    _triangle_index,
+    resolve_index_storage,
     result_from_phi,
     run_wave_peel,
 )
@@ -113,6 +121,10 @@ from repro.partition.edge_shards import (
     balanced_prefix_cuts,
     plan_edge_shards,
     route_dead_triangles,
+)
+from repro.triangles.index_builder import (
+    TriangleIndex,
+    build_triangle_index,
 )
 
 try:  # optional accelerator; the stdlib fallback degrades to core.flat
@@ -161,7 +173,10 @@ def _resolve_shards(shards: Optional[str]) -> str:
 # ---------------------------------------------------------------------------
 # worker side
 # ---------------------------------------------------------------------------
-def _attach_worker(spec: Dict[str, Tuple[Optional[str], tuple, str]]) -> None:
+def _attach_worker(
+    spec: Dict[str, Tuple[Optional[str], tuple, str]],
+    index_dir: Optional[str] = None,
+) -> None:
     """Pool initializer: map every shared block as a numpy view.
 
     Attaching must not register the blocks with the worker's resource
@@ -174,6 +189,11 @@ def _attach_worker(spec: Dict[str, Tuple[Optional[str], tuple, str]]) -> None:
     A ``None`` block name marks a zero-length array (no shared block
     exists — there are no bytes to share); the worker materializes its
     own empty view.
+
+    With ``index_dir`` set, the read-only triangle index is *not* in
+    shared memory at all: the worker opens the on-disk
+    :class:`~repro.triangles.index_builder.TriangleIndex` memory-mapped
+    — every process shares the page cache, exactly like the dist ranks.
     """
     from multiprocessing import resource_tracker
 
@@ -193,6 +213,10 @@ def _attach_worker(spec: Dict[str, Tuple[Optional[str], tuple, str]]) -> None:
             )
     finally:
         resource_tracker.register = original_register
+    if index_dir is not None:
+        tri = TriangleIndex.open(index_dir)
+        for name in TriangleIndex.FIELDS:
+            _WORKER_VIEWS[name] = getattr(tri, name)
     _WORKER_VIEWS["_segments"] = segments  # keep the mappings alive
 
 
@@ -426,48 +450,48 @@ def run_static_wave_peel(
     }
 
 
-def _base_arrays(csr: CSRGraph, m: int) -> Dict[str, object]:
+def _index_views(tri: TriangleIndex) -> Dict[str, object]:
+    """The read-only triangle index, keyed like the worker views."""
+    return {name: getattr(tri, name) for name in TriangleIndex.FIELDS}
+
+
+def _mutable_arrays(tri: TriangleIndex, m: int) -> Dict[str, object]:
     """The peel state both shard modes share, keyed for the shm spec.
 
-    One layout definition — the triangle index plus ``sup``/``alive``/
-    ``tdead`` — so the two modes can never drift on dtypes, sizing or
-    key names.
+    One layout definition — ``sup``/``alive``/``tdead`` — so the two
+    modes can never drift on dtypes, sizing or key names.  Unlike the
+    index views these are written every wave, so they always live in
+    RAM (and in shared memory when a pool runs).
     """
-    e1, e2, e3, tptr, tinc, sup = _triangle_index(csr, m)
     return {
-        "e1": e1,
-        "e2": e2,
-        "e3": e3,
-        "tptr": tptr,
-        "tinc": tinc,
-        "sup": sup,
+        "sup": tri.initial_supports(),
         "alive": _np.ones(m, dtype=bool),
-        "tdead": _np.zeros(len(e1), dtype=bool),
+        "tdead": _np.zeros(tri.num_triangles, dtype=bool),
     }
 
 
-def _static_arrays(csr: CSRGraph, m: int, jobs: int):
-    """The peel state of the static-shard protocol, ready to share.
+def _static_extras(
+    tri: TriangleIndex, sup, m: int, jobs: int
+) -> Tuple[Dict[str, object], object]:
+    """The owner-computes additions to the mutable peel state.
 
-    The base layout plus the owner-computes extras: the shard bounds,
-    the sharded ``phi``, and the per-shard alive-support histogram
-    (row ``s`` counts shard ``s``'s live edges by support value; the
-    global histogram is the column sum).  Returns ``(arrays, plan)``
-    — the plan is the coordinator's router, the bounds array its
-    worker-visible twin.
+    The shard bounds, the sharded ``phi``, and the per-shard
+    alive-support histogram (row ``s`` counts shard ``s``'s live edges
+    by support value; the global histogram is the column sum).
+    Returns ``(arrays, plan)`` — the plan is the coordinator's router,
+    the bounds array its worker-visible twin.
     """
-    arrays = _base_arrays(csr, m)
-    tptr, sup = arrays["tptr"], arrays["sup"]
-    plan = plan_edge_shards(m, jobs, weights=_np.diff(tptr))
+    plan = plan_edge_shards(m, jobs, weights=tri.initial_supports())
     height = int(sup.max()) + 1 if m else 1
     hist = _np.zeros((plan.num_shards, height), dtype=_np.int64)
     for s, lo, hi in plan.iter_shards():
         if hi > lo:
             hist[s] = _np.bincount(sup[lo:hi], minlength=height)
-    arrays["phi"] = _np.zeros(m, dtype=_np.int64)
-    arrays["hist"] = hist
-    arrays["shard_bounds"] = _np.asarray(plan.bounds, dtype=_np.int64)
-    return arrays, plan
+    return {
+        "phi": _np.zeros(m, dtype=_np.int64),
+        "hist": hist,
+        "shard_bounds": _np.asarray(plan.bounds, dtype=_np.int64),
+    }, plan
 
 
 def _peel_waves_shared(
@@ -476,6 +500,7 @@ def _peel_waves_shared(
     jobs: int,
     shards: str,
     stats: DecompositionStats,
+    index_storage: Optional[str] = None,
 ) -> Tuple[array, int]:
     """The wave peel of ``flat``, fanned out over ``jobs`` workers.
 
@@ -485,90 +510,120 @@ def _peel_waves_shared(
     plan — so the wave/level schedule (and therefore the trussness
     map) is identical by construction across modes and worker counts.
     With ``jobs=1`` the phases run inline on plain local arrays; with
-    ``jobs>1`` the peel state is copied into shared memory once, a
-    persistent pool attaches to it, and every wave is two ``pool.map``
-    barriers.
+    ``jobs>1`` the mutable peel state is copied into shared memory
+    once, a persistent pool attaches to it, and every wave is two
+    ``pool.map`` barriers.  The triangle index comes from the
+    streaming counting builder: with ``index_storage="ram"`` it is
+    shared with the workers through the same shm blocks, with
+    ``"mmap"`` every process maps the on-disk index read-only (no
+    triangle-length shm copy exists anywhere).
     """
-    if shards == "static":
-        arrays, plan = _static_arrays(csr, m, jobs)
+    mode = resolve_index_storage(index_storage)
+    with tempfile.TemporaryDirectory(prefix="repro-triidx-") as tmp:
+        tri = build_triangle_index(
+            csr, storage=mode, dirpath=tmp if mode != "ram" else None
+        )
+        stats.record("index_storage", tri.storage)
+        index_views = _index_views(tri)
+        mutable = _mutable_arrays(tri, m)
+        if shards == "static":
+            extras, plan = _static_extras(tri, mutable["sup"], m, jobs)
+            mutable.update(extras)
 
-        def run_pooled(views, pool):
-            return run_static_wave_peel(
-                m,
-                views,
-                plan,
-                _static_collect,  # workers write their attached views
-                _static_decrement,
-                run_map=pool.map,
-                account_ipc=True,
-            )
+            def run_pooled(views, pool):
+                return run_static_wave_peel(
+                    m,
+                    views,
+                    plan,
+                    _static_collect,  # workers write attached views
+                    _static_decrement,
+                    run_map=pool.map,
+                    account_ipc=True,
+                )
 
-        def run_inline():
-            return run_static_wave_peel(
-                m,
-                arrays,
-                plan,
-                lambda t: _static_collect_views(arrays, t),
-                lambda t: _static_decrement_views(arrays, t),
-            )
-    else:
-        arrays = _base_arrays(csr, m)
-        e1, e2, e3 = arrays["e1"], arrays["e2"], arrays["e3"]
-        tptr, tinc = arrays["tptr"], arrays["tinc"]
-
-        def run_pooled(views, pool):
-            return run_wave_peel(
-                m,
-                views,
-                _collect_hits,  # workers read their attached views
-                _count_decrements,
-                split_frontier=lambda f: _split_weighted(f, tptr, jobs),
-                split_hits=lambda h: _np.array_split(h, jobs),
-                run_map=pool.map,
-                account_ipc=True,
-            )
-
-        def run_inline():
-            # inline closures over the local arrays: no pool, no
-            # shared memory, no module globals — plain numpy
-            return run_wave_peel(
-                m,
-                arrays,
-                lambda f: _collect_hits_arrays(
-                    tptr, tinc, arrays["tdead"], f
-                ),
-                lambda h: _count_decrements_arrays(
-                    e1, e2, e3, arrays["alive"], h
-                ),
-            )
-
-    blocks = None
-    pool = None
-    try:
-        if jobs > 1:
-            blocks = _SharedBlocks(arrays)
-            pool = _mp.get_context().Pool(
-                processes=jobs,
-                initializer=_attach_worker,
-                initargs=(blocks.spec,),
-            )
-            phi, k, wave_stats = run_pooled(blocks.views, pool)
+            def run_inline(views):
+                return run_static_wave_peel(
+                    m,
+                    views,
+                    plan,
+                    lambda t: _static_collect_views(views, t),
+                    lambda t: _static_decrement_views(views, t),
+                )
         else:
-            phi, k, wave_stats = run_inline()
-        for key, value in wave_stats.items():
-            stats.record(key, value)
-        stats.record("triangles", len(arrays["e1"]))
-        return array("q", phi.tobytes()), k
-    finally:
-        if pool is not None:
-            pool.close()
-            pool.join()
-        if blocks is not None:
-            blocks.close()
+            tptr, tinc = index_views["tptr"], index_views["tinc"]
+            e1, e2, e3 = (
+                index_views["e1"], index_views["e2"], index_views["e3"]
+            )
+
+            def run_pooled(views, pool):
+                return run_wave_peel(
+                    m,
+                    views,
+                    _collect_hits,  # workers read attached views
+                    _count_decrements,
+                    split_frontier=lambda f: _split_weighted(
+                        f, tptr, jobs
+                    ),
+                    split_hits=lambda h: _np.array_split(h, jobs),
+                    run_map=pool.map,
+                    account_ipc=True,
+                )
+
+            def run_inline(views):
+                # inline closures over the local arrays: no pool, no
+                # shared memory, no module globals — plain numpy
+                return run_wave_peel(
+                    m,
+                    views,
+                    lambda f: _collect_hits_arrays(
+                        tptr, tinc, views["tdead"], f
+                    ),
+                    lambda h: _count_decrements_arrays(
+                        e1, e2, e3, views["alive"], h
+                    ),
+                )
+
+        blocks = None
+        pool = None
+        try:
+            if jobs > 1:
+                # the index crosses to the workers as shm blocks (ram)
+                # or as the mmapped files themselves (mmap); the
+                # mutable state is always shm
+                if tri.storage == "mmap":
+                    blocks = _SharedBlocks(mutable)
+                    initargs = (blocks.spec, str(tri.dirpath))
+                else:
+                    blocks = _SharedBlocks({**index_views, **mutable})
+                    initargs = (blocks.spec, None)
+                pool = _mp.get_context().Pool(
+                    processes=jobs,
+                    initializer=_attach_worker,
+                    initargs=initargs,
+                )
+                views = {**index_views, **blocks.views}
+                phi, k, wave_stats = run_pooled(views, pool)
+            else:
+                phi, k, wave_stats = run_inline(
+                    {**index_views, **mutable}
+                )
+            for key, value in wave_stats.items():
+                stats.record(key, value)
+            stats.record("triangles", tri.num_triangles)
+            return array("q", phi.tobytes()), k
+        finally:
+            if pool is not None:
+                pool.close()
+                pool.join()
+            if blocks is not None:
+                blocks.close()
 
 
 def truss_decomposition_parallel(
-    g, jobs: Optional[int] = None, shards: Optional[str] = None
+    g,
+    jobs: Optional[int] = None,
+    shards: Optional[str] = None,
+    index_storage: Optional[str] = None,
 ) -> TrussDecomposition:
     """Truss-decompose ``g`` with the shared-memory parallel wave peel.
 
@@ -585,12 +640,17 @@ def truss_decomposition_parallel(
             ``"static"`` fixes an incidence-balanced edge-id shard per
             worker up front and runs the owner-computes protocol (see
             the module docstring).
+        index_storage: the triangle index destination — ``"ram"``
+            (shared-memory blocks), ``"mmap"`` (streamed to disk, every
+            process maps it read-only), or ``None`` (auto by size).
+            The stdlib fallback peels without an index and ignores it.
 
     Returns the identical trussness map as ``method="flat"`` and
-    ``method="improved"`` — neither the worker count nor the shard
-    mode changes the wave schedule.
+    ``method="improved"`` — neither the worker count, the shard mode
+    nor the index storage changes the wave schedule.
     """
     mode = _resolve_shards(shards)
+    resolve_index_storage(index_storage)  # validate eagerly, any path
     csr = _as_csr(g)
     m = csr.num_edges
     stats = DecompositionStats(method="parallel")
@@ -607,5 +667,5 @@ def truss_decomposition_parallel(
     stats.record("jobs", njobs)
     if not m:
         return result_from_phi(csr, array("q"), 2, stats)
-    phi, k = _peel_waves_shared(csr, m, njobs, mode, stats)
+    phi, k = _peel_waves_shared(csr, m, njobs, mode, stats, index_storage)
     return result_from_phi(csr, phi, k, stats)

@@ -7,8 +7,8 @@ trigger the removal of other edges and this propagating effect can
 spread to random locations in the graph."
 
 This module makes that argument measurable.  It runs Algorithm 2's
-peeling semantics, but the adjacency lists live in the on-disk
-adjacency file and are fetched on demand through a bounded LRU
+peeling semantics, but the adjacency lists live on disk and are fetched
+on demand through a bounded LRU
 :class:`~repro.exio.bufferpool.BufferPool` — the "semi-external"
 setting (O(m) edge state in memory, graph structure on disk).  Every
 cache miss is a block read; every non-sequential fetch is a seek.  The
@@ -16,15 +16,25 @@ ablation benchmark contrasts its I/O against TD-bottomup under the same
 memory, which is the paper's whole case for designing scan-based
 algorithms.
 
-The in-memory edge state lives entirely in flat integer arrays indexed
+Both sides of the disk boundary are plain integer arrays keyed by the
+CSR substrate now.  In memory: one integer of state per edge, indexed
 by canonical edge id — supports from
-:func:`repro.core.flat.initial_supports` (merge-intersections, no
-``set`` probe per edge), liveness as a bytearray bitmap, ``phi`` as an
-``array('q')`` — and triangle wings are resolved through
-:meth:`~repro.graph.csr.CSRGraph.edge_id` instead of hashed edge
-tuples; labeled edges materialize only once, in the emitted trussness
-map.  The peel loop's *I/O* is untouched, keeping the random-access
-profile this baseline exists to measure.
+:func:`repro.core.flat.initial_supports`, liveness as a bytearray
+bitmap, ``phi`` as an ``array('q')``.  On disk: the spill is the CSR
+adjacency itself — vertex ``i``'s record is its run of
+``(neighbor compact id, canonical eid)`` int64 pairs at byte offset
+``indptr[i] * 16``, written straight from ``CSRGraph.indices``/
+``CSRGraph.eids`` — so reloads hand the peel both wing edge ids of
+every triangle directly, with no hashed edge tuples, no per-record
+vertex-id headers and no ``edge_id`` binary search on the hot path.
+The peel loop's *I/O pattern* is untouched (two arbitrary-offset
+fetches per removal, cascades landing anywhere), keeping the
+random-access profile this baseline exists to measure.  Absolute block
+counts are not comparable across this change, though: a record slot
+widened from 8 bytes (neighbor id) to 16 (neighbor + eid), so each
+fetch touches ~2x the pages of the old layout — the asserted
+*orderings* against the scan-based methods are unaffected, only the
+raw numbers shift.
 """
 
 from __future__ import annotations
@@ -33,41 +43,46 @@ import struct
 import tempfile
 from array import array
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.decomposition import DecompositionStats, TrussDecomposition
 from repro.core.flat import initial_supports
+from repro.exio.blockfile import BlockWriter
 from repro.exio.bufferpool import BufferPool
-from repro.graph.csr import CSRGraph
-from repro.exio.diskgraph import DiskAdjacencyGraph
 from repro.exio.iostats import IOStats
 from repro.exio.memory import MemoryBudget
 from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph
 
-_HEADER = struct.Struct("<qq")
-_ID = struct.Struct("<q")
+#: one adjacency slot on disk: (neighbor compact id, canonical eid)
+_PAIR = struct.Struct("<qq")
 
 
-class _DiskAdjacency:
-    """Random-access neighbor lists over the adjacency file."""
+class _EidAdjacencySpill:
+    """The CSR adjacency spilled/reloaded as flat eid-keyed int64 pairs.
 
-    def __init__(self, disk: DiskAdjacencyGraph, pool: BufferPool) -> None:
-        self.pool = pool
-        # the offset index is O(n) memory — allowed in the semi-external
-        # model (the paper's complaint is I/O, not index space)
-        self.offsets: Dict[int, Tuple[int, int]] = {}
-        offset = 0
-        for v, nbrs in disk.scan():
-            self.offsets[v] = (offset, len(nbrs))
-            offset += _HEADER.size + len(nbrs) * _ID.size
+    Spilling is one sequential pass over ``indices``/``eids`` (plain
+    integer-array output, charged to the build's I/O stats); reloading
+    vertex ``i`` is a single ``read_range`` of its run — the record
+    offsets *are* ``indptr``, so no per-vertex offset dict exists.
+    The returned run is sorted by neighbor id (CSR invariant), which
+    is what lets the peel merge two runs instead of probing sets.
+    """
 
-    def neighbors(self, v: int) -> List[int]:
-        """Fetch ``nb(v)`` from disk through the buffer pool."""
-        offset, deg = self.offsets[v]
-        blob = self.pool.read_range(
-            offset + _HEADER.size, deg * _ID.size
-        )
-        return [x[0] for x in _ID.iter_unpack(blob)]
+    def __init__(self, csr: CSRGraph, path: Path, build_stats: IOStats) -> None:
+        self.indptr = csr.indptr
+        self.path = Path(path)
+        self.pool: Optional[BufferPool] = None
+        indices, eids = csr.indices, csr.eids
+        with BlockWriter(self.path, build_stats) as w:
+            for t in range(len(indices)):
+                w.write(_PAIR.pack(indices[t], eids[t]))
+
+    def fetch(self, i: int) -> List[Tuple[int, int]]:
+        """Reload ``(neighbor, eid)`` pairs of compact vertex ``i``."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        blob = self.pool.read_range(lo * _PAIR.size, (hi - lo) * _PAIR.size)
+        return list(_PAIR.iter_unpack(blob))
 
 
 def truss_decomposition_semi_external(
@@ -90,28 +105,25 @@ def truss_decomposition_semi_external(
 
     with tempfile.TemporaryDirectory(dir=workdir) as tmp:
         tmp = Path(tmp)
+        # ---- Algorithm 2 semantics over disk-resident adjacency ----
+        # in memory: one integer of state per edge (the semi-external
+        # allowance), held in flat arrays indexed by canonical edge id;
+        # on disk: the eid-keyed adjacency spill (the build's sequential
+        # write is charged separately, like the old external-sort build)
+        csr = CSRGraph.from_graph(g)
+        m = csr.num_edges
+        sup = initial_supports(csr)
+        eu, ev = csr.edge_endpoints()
+        labels = csr.labels
+        alive = bytearray(b"\x01") * m
+        phi = array("q", [0]) * m
+
         build_stats = IOStats(block_size=stats.block_size)
-        disk = DiskAdjacencyGraph.build_from_graph(
-            g, tmp / "g.adj", build_stats, tmp / "work"
-        )
+        adj = _EidAdjacencySpill(csr, tmp / "g.eadj", build_stats)
         # pages worth `budget` units of 8-byte words
         pages = max(1, (budget.units * 8) // stats.block_size)
-        with BufferPool(disk.path, stats, capacity_pages=pages) as pool:
-            adj = _DiskAdjacency(disk, pool)
-
-            # ---- Algorithm 2 semantics over disk-resident adjacency ----
-            # in memory: one integer of state per edge (the semi-external
-            # allowance), held in flat arrays indexed by canonical edge
-            # id — no Dict[Edge, int] round trip; the adjacency structure
-            # itself stays on disk
-            csr = CSRGraph.from_graph(g)
-            m = csr.num_edges
-            sup = initial_supports(csr)
-            eu, ev = csr.edge_endpoints()
-            labels = csr.labels
-            alive = bytearray(b"\x01") * m
-            phi = array("q", [0]) * m
-
+        with BufferPool(adj.path, stats, capacity_pages=pages) as pool:
+            adj.pool = pool
             remaining = m
             k = 2
             while remaining:
@@ -130,21 +142,27 @@ def truss_decomposition_semi_external(
                     alive[e] = 0
                     remaining -= 1
                     phi[e] = k
-                    iu, iv = eu[e], ev[e]
-                    u, v = labels[iu], labels[iv]
                     # the random-access step the paper warns about: both
-                    # endpoints' lists fetched from arbitrary disk pages,
+                    # endpoints' runs fetched from arbitrary disk pages,
                     # for every single removal in the cascade
-                    nu = adj.neighbors(u)
-                    nv = set(adj.neighbors(v))
-                    for w in nu:
-                        if w not in nv:
+                    run_u = adj.fetch(eu[e])
+                    run_v = adj.fetch(ev[e])
+                    # merge the sorted runs; a common neighbor closes a
+                    # triangle and both wing eids come off the records
+                    i = j = 0
+                    while i < len(run_u) and j < len(run_v):
+                        wu, fu = run_u[i]
+                        wv, fv = run_v[j]
+                        if wu < wv:
+                            i += 1
                             continue
-                        iw = csr.compact_id(w)
-                        fu = csr.edge_id(iu, iw)
-                        fv = csr.edge_id(iv, iw)
+                        if wv < wu:
+                            j += 1
+                            continue
+                        i += 1
+                        j += 1
                         # the triangle was live only if both wings are
-                        # (disk lists never shrink; liveness is edge state)
+                        # (disk runs never shrink; liveness is edge state)
                         if alive[fu] and alive[fv]:
                             for f in (fu, fv):
                                 sup[f] -= 1

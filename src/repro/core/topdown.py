@@ -43,6 +43,7 @@ decomposition.
 from __future__ import annotations
 
 import tempfile
+from array import array
 from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -55,6 +56,7 @@ from repro.exio.edgefile import DiskEdgeFile
 from repro.exio.iostats import IOStats
 from repro.exio.memory import MemoryBudget
 from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph
 from repro.graph.edges import Edge
 from repro.graph.views import NeighborhoodSubgraph
 from repro.partition.base import (
@@ -64,6 +66,11 @@ from repro.partition.base import (
 )
 from repro.partition.dominating import DominatingSetPartitioner
 from repro.triangles.external import external_edge_supports
+
+try:  # optional accelerator for the record->eid mapping
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 
 def _choose_kinit(
@@ -100,42 +107,88 @@ def _choose_kinit(
     return kinit
 
 
+def _psi_by_eid(h: CSRGraph, us: array, vs: array, ps: array) -> array:
+    """Map scanned ``(u, v, psi)`` records onto H's canonical edge ids.
+
+    The records are exactly H's edges, once each, in original vertex
+    ids.  With numpy the mapping is one vectorized rank computation:
+    compacted canonical keys ascend exactly in edge-id order, so each
+    record's eid is its key's rank among the sorted keys.  The stdlib
+    path binary-searches the CSR runs per record.
+    """
+    m = h.num_edges
+    psi = array("q", [0]) * m
+    if not m:
+        return psi
+    if _np is not None:
+        lab = _np.asarray(h.labels, dtype=_np.int64)
+        u = _np.frombuffer(us, dtype=_np.int64)
+        v = _np.frombuffer(vs, dtype=_np.int64)
+        # labels are sorted, so searchsorted IS the original->compact map
+        cu = _np.searchsorted(lab, _np.minimum(u, v))
+        cv = _np.searchsorted(lab, _np.maximum(u, v))
+        key = cu * len(lab) + cv
+        eid = _np.searchsorted(_np.sort(key), key)
+        out = _np.zeros(m, dtype=_np.int64)
+        out[eid] = _np.frombuffer(ps, dtype=_np.int64)
+        return array("q", out.tobytes())
+    for u, v, p in zip(us, vs, ps):
+        psi[h.edge_id(h.compact_id(min(u, v)), h.compact_id(max(u, v)))] = p
+    return psi
+
+
 def _extract_candidate(
     gnew: DiskEdgeFile, classified: Dict[Edge, int], k: int
-) -> Tuple[Graph, Dict[Edge, int], Set[int]]:
-    """Two scans: U_k, then H = NS(U_k) with per-edge psi."""
+) -> Tuple[CSRGraph, array, Set[int]]:
+    """Two scans: U_k, then H = NS(U_k) as a CSR snapshot.
+
+    H is built straight from flat record buffers into
+    :class:`~repro.graph.csr.CSRGraph` — no dict-of-set adjacency is
+    ever constructed for the candidate subgraph — and ``psi`` comes
+    back as a flat array indexed by H's canonical edge ids.
+    """
     u_k: Set[int] = set()
     for u, v, psi in gnew.scan():
         if psi >= k and (u, v) not in classified:
             u_k.add(u)
             u_k.add(v)
-    h = Graph()
-    psi_of: Dict[Edge, int] = {}
-    if u_k:
-        for u, v, psi in gnew.scan():
-            if u in u_k or v in u_k:
-                h.add_edge(u, v)
-                psi_of[(u, v)] = psi
-    return h, psi_of, u_k
+    if not u_k:
+        return CSRGraph(array("q", [0]), array("q"), []), array("q"), u_k
+    us, vs, ps = array("q"), array("q"), array("q")
+    for u, v, psi in gnew.scan():
+        if u in u_k or v in u_k:
+            us.append(u)
+            vs.append(v)
+            ps.append(psi)
+    h = CSRGraph.from_edges(zip(us, vs))
+    return h, _psi_by_eid(h, us, vs, ps), u_k
 
 
 def _valid_subgraph(
-    h: Graph,
-    psi_of: Dict[Edge, int],
+    h: CSRGraph,
+    psi: array,
     classified: Dict[Edge, int],
     k: int,
 ) -> Tuple[Graph, Set[Edge]]:
-    """Restrict H to T_k-eligible edges; return it plus the candidates."""
-    valid = Graph()
+    """Restrict H to T_k-eligible edges; return it plus the candidates.
+
+    The returned subgraph is a mutable :class:`Graph` — the level peel
+    removes its edges one by one — but it is assembled in one pass over
+    H's flat edge arrays, selecting by the eid-indexed ``psi``.
+    """
+    valid_edges: List[Edge] = []
     candidates: Set[Edge] = set()
-    for e in h.edges():
-        cls = classified.get(e)
-        if cls is not None:
-            valid.add_edge(*e)  # phi > k: a legitimate support provider
-        elif psi_of[e] >= k:
-            valid.add_edge(*e)
+    labels = h.labels
+    eu, ev = h.edge_endpoints()
+    for eid in range(h.num_edges):
+        # labels ascend and eu < ev, so the key is canonical already
+        e = (labels[eu[eid]], labels[ev[eid]])
+        if e in classified:
+            valid_edges.append(e)  # phi > k: a support provider
+        elif psi[eid] >= k:
+            valid_edges.append(e)
             candidates.add(e)
-    return valid, candidates
+    return Graph(valid_edges), candidates
 
 
 def _peel_candidates_partitioned(
@@ -185,28 +238,47 @@ def _peel_candidates_partitioned(
 
 def _prune_gnew(
     gnew: DiskEdgeFile,
-    h: Graph,
+    h: CSRGraph,
     u_k: Set[int],
     classified: Dict[Edge, int],
     stats: DecompositionStats,
 ) -> None:
     """Procedure 8 Steps 7-9: drop classified edges whose every triangle
     (in Gnew, visible in full inside H for internal edges) is fully
-    classified — they can no longer influence any lower class."""
+    classified — they can no longer influence any lower class.
+
+    Triangles are found by merging H's sorted CSR adjacency runs — the
+    dict-free analogue of the old ``common_neighbors`` set probes.
+    """
     prunable: Set[Edge] = set()
-    for u, v in h.edges():
+    labels = h.labels
+    eu, ev = h.edge_endpoints()
+    for eid in range(h.num_edges):
+        iu, iv = eu[eid], ev[eid]
+        u, v = labels[iu], labels[iv]
         e = (u, v)
         if e not in classified:
             continue
         if u not in u_k or v not in u_k:
             continue  # not internal: triangle set incomplete, keep
         fully_classified = True
-        for w in h.common_neighbors(u, v):
-            f1 = (u, w) if u < w else (w, u)
-            f2 = (v, w) if v < w else (w, v)
-            if f1 not in classified or f2 not in classified:
-                fully_classified = False
-                break
+        run_u, run_v = h.neighbors(iu), h.neighbors(iv)
+        i = j = 0
+        while i < len(run_u) and j < len(run_v):
+            a, b = run_u[i], run_v[j]
+            if a < b:
+                i += 1
+            elif b < a:
+                j += 1
+            else:
+                w = labels[a]
+                f1 = (u, w) if u < w else (w, u)
+                f2 = (v, w) if v < w else (w, v)
+                if f1 not in classified or f2 not in classified:
+                    fully_classified = False
+                    break
+                i += 1
+                j += 1
         if fully_classified:
             prunable.add(e)
     if prunable:

@@ -9,6 +9,22 @@ owning only its slice of the peel state plus a read-only mmap of the
 triangle index — no process holds the global triangle set, the global
 dedupe state, or another rank's supports.
 
+Triangle-index files
+--------------------
+The index every rank mmaps is produced by the streaming two-pass
+counting builder (:func:`repro.triangles.index_builder.
+build_triangle_index` with ``storage="mmap"``): one directory holding
+five little-endian int64 ``.npy`` files — ``e1``/``e2``/``e3`` (the
+per-triangle edge columns, length |△G|), ``tptr`` (incidence pointers,
+length m+1) and ``tinc`` (incidence slots, length 3·|△G|, each edge's
+window ascending in triangle id).  :class:`~repro.dist.rank.
+TriangleIndex` (re-exported here, defined next to the builder) is the
+read side: ``open()`` maps all five read-only, so rank processes on one
+host share the page cache.  The driver streams the arrays straight
+into this layout — its build memory is O(m + chunk), never O(|△G|);
+initial supports are recovered rank-side as ``diff(tptr)`` over the
+owned slice, so no support file exists on disk.
+
 Wire protocol
 -------------
 **Frame format.**  Every message is one frame: an 8-byte little-endian

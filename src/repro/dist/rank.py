@@ -30,12 +30,16 @@ either transport.
 
 from __future__ import annotations
 
-from pathlib import Path
 from typing import Dict, Sequence, Tuple
 
 from repro.dist.exchange import allgather, alltoallv
 from repro.dist.transport import DistError, Transport
 from repro.partition.edge_shards import route_dead_triangles
+
+# the index class lives with its builder; re-exported here because the
+# rank runtime is its read side (every rank opens one per peel) and the
+# dist package's public surface predates the builder
+from repro.triangles.index_builder import TriangleIndex  # noqa: F401
 
 try:  # the distributed peel is numpy-substrate-only (driver gates this)
     import numpy as _np
@@ -44,59 +48,6 @@ except ImportError:  # pragma: no cover
 
 #: "no live support at or above the floor" sentinel for the min-reduce
 _NO_FLOOR = 1 << 62
-
-
-class TriangleIndex:
-    """The read-only triangle index, shared with ranks through mmap.
-
-    Five int64 arrays, exactly the layout of
-    :func:`repro.core.flat._triangle_index`: the per-triangle edge
-    columns ``e1``/``e2``/``e3`` and the edge->triangle incidence
-    ``tptr``/``tinc``.  The driver writes them once as ``.npy`` files;
-    every rank opens them memory-mapped, so rank processes share the
-    page cache instead of each holding a private copy.
-    """
-
-    FIELDS = ("e1", "e2", "e3", "tptr", "tinc")
-
-    def __init__(self, e1, e2, e3, tptr, tinc) -> None:
-        self.e1 = e1
-        self.e2 = e2
-        self.e3 = e3
-        self.tptr = tptr
-        self.tinc = tinc
-
-    @property
-    def num_triangles(self) -> int:
-        return len(self.e1)
-
-    @property
-    def num_edges(self) -> int:
-        return len(self.tptr) - 1
-
-    @staticmethod
-    def write(dirpath, e1, e2, e3, tptr, tinc) -> None:
-        """Persist the five arrays as ``.npy`` files under ``dirpath``."""
-        dirpath = Path(dirpath)
-        for name, arr in zip(TriangleIndex.FIELDS, (e1, e2, e3, tptr, tinc)):
-            _np.save(
-                dirpath / f"{name}.npy",
-                _np.ascontiguousarray(arr, dtype=_np.int64),
-            )
-
-    @classmethod
-    def open(cls, dirpath) -> "TriangleIndex":
-        """Map the five arrays read-only from ``dirpath``."""
-        dirpath = Path(dirpath)
-        arrays = []
-        for name in cls.FIELDS:
-            path = dirpath / f"{name}.npy"
-            try:
-                arrays.append(_np.load(path, mmap_mode="r"))
-            except (ValueError, OSError):
-                # zero-length arrays on platforms that refuse empty maps
-                arrays.append(_np.load(path))
-        return cls(*arrays)
 
 
 def _split_by_owner(values, owners, parts: int):

@@ -269,6 +269,11 @@ class CSRGraph:
         """Number of undirected edges."""
         return len(self.indices) // 2
 
+    @property
+    def size(self) -> int:
+        """The paper's ``|G| = n + m`` in units (same as ``Graph.size``)."""
+        return self.num_vertices + self.num_edges
+
     def compact_id(self, v: int) -> int:
         """Map an original vertex id to its compact ``0..n-1`` id."""
         try:

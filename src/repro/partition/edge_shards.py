@@ -175,7 +175,8 @@ def incidence_weights(tptr) -> Sequence[int]:
     """Per-edge triangle-incidence counts from the ``tptr`` pointers.
 
     ``tptr`` is the CSR-style edge->triangle incidence index built by
-    :func:`repro.core.flat._triangle_index`; the weight of edge ``e``
+    :func:`repro.triangles.index_builder.build_triangle_index`; the
+    weight of edge ``e``
     is its incidence window length — the number of triangle slots a
     peel touches when ``e`` pops.
     """

@@ -1,10 +1,20 @@
-"""Triangle engine: listing, counting and per-edge support.
+"""Triangle engine: listing, counting, support, and the incidence index.
 
 Public surface::
 
     iter_triangles, triangle_count      compact-forward O(m^1.5) listing
     edge_supports, supports_within      Definition 1's sup(e)
     external_edge_supports              partitioned, I/O-accounted variant
+    build_triangle_index                streaming two-pass counting build
+    count_edge_incidence                its counting pass (supports only)
+    TriangleIndex                       the index bundle + on-disk format
+
+The triangle index (``e1``/``e2``/``e3`` per-triangle edge columns,
+``tptr``/``tinc`` edge->triangle incidence with ascending windows) is
+the structure every CSR peel engine — ``flat``, ``parallel``, ``dist``
+— runs over; :mod:`repro.triangles.index_builder` documents the build
+contract and the on-disk ``.npy`` layout that
+:meth:`TriangleIndex.open` memory-maps.
 """
 
 from repro.triangles.listing import (
@@ -18,6 +28,12 @@ from repro.triangles.external import (
     external_supports_to_file,
     external_triangle_count,
 )
+from repro.triangles.index_builder import (
+    INDEX_STORAGES,
+    TriangleIndex,
+    build_triangle_index,
+    count_edge_incidence,
+)
 from repro.triangles.support import (
     edge_supports,
     max_support,
@@ -26,6 +42,10 @@ from repro.triangles.support import (
 )
 
 __all__ = [
+    "INDEX_STORAGES",
+    "TriangleIndex",
+    "build_triangle_index",
+    "count_edge_incidence",
     "external_edge_supports",
     "external_supports_to_file",
     "external_triangle_count",

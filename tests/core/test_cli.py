@@ -121,6 +121,30 @@ class TestDecompose:
             capsys.readouterr().err
         )
 
+    @pytest.mark.parametrize("method", ["flat", "parallel", "dist"])
+    @pytest.mark.parametrize("storage", ["ram", "mmap"])
+    def test_index_storage_matches_flat(
+        self, graph_file, tmp_path, method, storage
+    ):
+        out = tmp_path / "phi.txt"
+        assert main([
+            "decompose", str(graph_file), "-o", str(out),
+            "--method", method, "--index-storage", storage,
+        ]) == 0
+        reference = tmp_path / "flat.txt"
+        assert main([
+            "decompose", str(graph_file), "-o", str(reference),
+            "--method", "flat",
+        ]) == 0
+        assert out.read_text() == reference.read_text()
+
+    def test_index_storage_rejected_off_csr_methods(self, graph_file, capsys):
+        assert main([
+            "decompose", str(graph_file), "--method", "improved",
+            "--index-storage", "mmap",
+        ]) == 2
+        assert "--index-storage only applies" in capsys.readouterr().err
+
     def test_external_flags_rejected_on_fastpath(self, graph_file, capsys):
         assert main([
             "decompose", str(graph_file), "--method", "flat", "--top", "3",

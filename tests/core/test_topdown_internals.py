@@ -1,14 +1,25 @@
 """Targeted unit tests for top-down internals (kinit, pruning, valid set)."""
 
+from array import array
+
 import pytest
 
 from repro.core.topdown import _choose_kinit, _extract_candidate, _valid_subgraph
 from repro.exio import DiskEdgeFile, IOStats, MemoryBudget
-from repro.graph import Graph, complete_graph
+from repro.graph import CSRGraph, Graph, complete_graph
 
 
 def make_psi_file(tmp_path, records):
     return DiskEdgeFile.from_records(tmp_path / "psi.bin", records, IOStats())
+
+
+def make_candidate(psi_of):
+    """A CSR candidate subgraph H plus its eid-indexed psi array."""
+    h = CSRGraph.from_edges(list(psi_of))
+    psi = array("q", [0]) * h.num_edges
+    for (u, v), p in psi_of.items():
+        psi[h.edge_id(h.compact_id(u), h.compact_id(v))] = p
+    return h, psi
 
 
 class TestChooseKinit:
@@ -36,11 +47,12 @@ class TestExtractCandidate:
         f = make_psi_file(
             tmp_path, [(0, 1, 5), (1, 2, 5), (3, 4, 2)]
         )
-        h, psi_of, u_k = _extract_candidate(f, classified={(0, 1): 5}, k=5)
+        h, psi, u_k = _extract_candidate(f, classified={(0, 1): 5}, k=5)
         assert u_k == {1, 2}
         # (0,1) rides along (incident to 1) but is classified
-        assert set(h.edges()) == {(0, 1), (1, 2)}
-        assert psi_of[(1, 2)] == 5
+        assert set(h.edges_original()) == {(0, 1), (1, 2)}
+        assert psi[h.edge_id(h.compact_id(1), h.compact_id(2))] == 5
+        assert psi[h.edge_id(h.compact_id(0), h.compact_id(1))] == 5
 
     def test_empty_uk_when_all_classified(self, tmp_path):
         f = make_psi_file(tmp_path, [(0, 1, 5)])
@@ -48,20 +60,25 @@ class TestExtractCandidate:
         assert u_k == set()
         assert h.num_edges == 0
 
+    def test_h_is_a_csr_snapshot(self, tmp_path):
+        # the candidate subgraph must never be dict-of-set adjacency
+        f = make_psi_file(tmp_path, [(0, 1, 4), (1, 2, 4), (0, 2, 4)])
+        h, psi, _u_k = _extract_candidate(f, classified={}, k=4)
+        assert isinstance(h, CSRGraph)
+        assert len(psi) == h.num_edges == 3
+
 
 class TestValidSubgraph:
     def test_low_psi_unclassified_excluded(self):
-        h = Graph([(0, 1), (1, 2), (0, 2)])
-        psi_of = {(0, 1): 5, (1, 2): 3, (0, 2): 5}
-        valid, candidates = _valid_subgraph(h, psi_of, classified={}, k=5)
+        h, psi = make_candidate({(0, 1): 5, (1, 2): 3, (0, 2): 5})
+        valid, candidates = _valid_subgraph(h, psi, classified={}, k=5)
         assert set(valid.edges()) == {(0, 1), (0, 2)}
         assert candidates == {(0, 1), (0, 2)}
 
     def test_classified_included_but_not_candidate(self):
-        h = Graph([(0, 1), (1, 2)])
-        psi_of = {(0, 1): 4, (1, 2): 4}
+        h, psi = make_candidate({(0, 1): 4, (1, 2): 4})
         valid, candidates = _valid_subgraph(
-            h, psi_of, classified={(0, 1): 7}, k=4
+            h, psi, classified={(0, 1): 7}, k=4
         )
         assert set(valid.edges()) == {(0, 1), (1, 2)}
         assert candidates == {(1, 2)}

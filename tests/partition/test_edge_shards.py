@@ -216,13 +216,15 @@ class TestRoutedDecrementParity:
             _as_csr,
             _collect_hits_arrays,
             _count_decrements_arrays,
-            _triangle_index,
         )
+        from repro.triangles.index_builder import build_triangle_index
 
         g = random_graph(30, 0.25, seed=seed)
         csr = _as_csr(g)
         m = csr.num_edges
-        e1, e2, e3, tptr, tinc, sup = _triangle_index(csr, m)
+        tri = build_triangle_index(csr)
+        e1, e2, e3, tptr, tinc = tri.e1, tri.e2, tri.e3, tri.tptr, tri.tinc
+        sup = tri.initial_supports()
         if not len(e1):
             pytest.skip("seed produced a triangle-free graph")
         plan = plan_edge_shards(m, n_shards, weights=np.diff(tptr))

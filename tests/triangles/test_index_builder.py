@@ -1,0 +1,201 @@
+"""Tests for the streaming two-pass triangle-index builder.
+
+The contract under test: both storages, at *any* wedge-chunk size
+(including one wedge run per chunk), produce bit-identical
+``(e1, e2, e3, tptr, tinc)`` bundles whose supports match the brute
+oracle, whose incidence windows are ascending in triangle id, and over
+which every CSR peel engine computes the same trussness map as the
+dict-based methods.
+"""
+
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+
+import repro.triangles.index_builder as ib
+from repro.core import truss_decomposition_flat, truss_decomposition_parallel
+from repro.core.flat import _as_csr
+from repro.core.truss_improved import truss_decomposition_improved
+from repro.errors import DecompositionError
+from repro.graph import CSRGraph, Graph, complete_graph
+
+from helpers import peel_graphs, random_graph, small_edge_lists
+from oracles import brute_all_supports, brute_triangles
+
+np = pytest.importorskip("numpy")
+
+
+def build_all_ways(csr, tmp_path, chunks=(1, 7, None)):
+    """The same index through every storage and several chunk sizes."""
+    built = []
+    for chunk in chunks:
+        built.append(("ram", chunk, ib.build_triangle_index(csr, chunk=chunk)))
+        d = tempfile.mkdtemp(dir=tmp_path)
+        built.append(
+            (
+                "mmap",
+                chunk,
+                ib.build_triangle_index(
+                    csr, storage="mmap", dirpath=d, chunk=chunk
+                ),
+            )
+        )
+    return built
+
+
+def assert_index_matches_oracle(g, csr, tri):
+    """Structural correctness of one built index vs the brute oracle."""
+    labels = csr.labels
+    eu, ev = csr.edge_endpoints()
+    m = csr.num_edges
+    sup = tri.initial_supports()
+    oracle_sup = brute_all_supports(g)
+    for e in range(m):
+        edge = (labels[eu[e]], labels[ev[e]])
+        assert sup[e] == oracle_sup[edge], edge
+    # tptr is the running sum of the incidence counts
+    assert np.array_equal(
+        np.asarray(tri.tptr),
+        np.concatenate(([0], np.cumsum(sup))),
+    )
+    # every triangle appears exactly once, as three consistent edges
+    tri_sets = set()
+    for t in range(tri.num_triangles):
+        eids = (int(tri.e1[t]), int(tri.e2[t]), int(tri.e3[t]))
+        verts = frozenset(
+            labels[x] for e in eids for x in (eu[e], ev[e])
+        )
+        assert len(verts) == 3
+        tri_sets.add(verts)
+    assert tri_sets == brute_triangles(g)
+    # each edge's incidence window holds exactly its triangles, with
+    # the builder's canonical ascending-triangle-id layout
+    tinc = np.asarray(tri.tinc)
+    for e in range(m):
+        window = tinc[tri.tptr[e]:tri.tptr[e + 1]]
+        assert np.all(window[1:] > window[:-1]), e  # ascending, unique
+        for t in window:
+            assert e in (tri.e1[t], tri.e2[t], tri.e3[t])
+
+
+class TestBuilderProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(peel_graphs())
+    def test_storages_and_chunks_bit_identical(self, tmp_path_factory, g):
+        csr = _as_csr(g)
+        tmp = tmp_path_factory.mktemp("triidx")
+        built = build_all_ways(csr, tmp)
+        ref = built[0][2]
+        for storage, chunk, tri in built[1:]:
+            for field in ib.TriangleIndex.FIELDS:
+                assert np.array_equal(
+                    np.asarray(getattr(tri, field)),
+                    np.asarray(getattr(ref, field)),
+                ), (storage, chunk, field)
+        assert_index_matches_oracle(g, csr, ref)
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_edge_lists())
+    def test_counting_pass_matches_oracle(self, edges):
+        g = Graph(edges)
+        csr = _as_csr(g)
+        for chunk in (1, 5, None):
+            sup, n_tri = ib.count_edge_incidence(csr, chunk=chunk)
+            assert n_tri == len(brute_triangles(g))
+            oracle = brute_all_supports(g)
+            labels = csr.labels
+            eu, ev = csr.edge_endpoints()
+            for e in range(csr.num_edges):
+                assert sup[e] == oracle[(labels[eu[e]], labels[ev[e]])]
+
+
+class TestDecompositionParity:
+    @pytest.mark.parametrize("storage", ["ram", "mmap"])
+    @pytest.mark.parametrize("chunk", [1, 16])
+    def test_flat_over_tiny_chunks(self, monkeypatch, storage, chunk):
+        monkeypatch.setattr(ib, "_WEDGE_CHUNK", chunk)
+        g = random_graph(24, 0.3, seed=71)
+        ref = truss_decomposition_improved(g)
+        td = truss_decomposition_flat(g, index_storage=storage)
+        assert td == ref
+        assert td.stats.extra["index_storage"] == storage
+
+    @pytest.mark.parametrize("storage", ["ram", "mmap"])
+    def test_pooled_peel_over_both_storages(self, storage):
+        g = random_graph(22, 0.35, seed=72)
+        ref = truss_decomposition_flat(g)
+        for shards in ("dynamic", "static"):
+            td = truss_decomposition_parallel(
+                g, jobs=2, shards=shards, index_storage=storage
+            )
+            assert td == ref, (storage, shards)
+            assert td.stats.extra["index_storage"] == storage
+
+    def test_auto_threshold_picks_mmap(self, monkeypatch):
+        # shrink the auto cutoff so even a toy graph spills to disk
+        monkeypatch.setattr(ib, "_AUTO_MMAP_INDEX_BYTES", 1)
+        g = complete_graph(6)
+        td = truss_decomposition_flat(g)
+        assert td.stats.extra["index_storage"] == "mmap"
+        assert td == truss_decomposition_improved(g)
+
+    def test_auto_threshold_default_is_ram(self):
+        td = truss_decomposition_flat(complete_graph(6))
+        assert td.stats.extra["index_storage"] == "ram"
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("storage", ["ram", "mmap"])
+    def test_triangle_free_graph(self, tmp_path, storage):
+        csr = _as_csr(Graph([(0, 1), (1, 2), (2, 3)]))
+        tri = ib.build_triangle_index(
+            csr, storage=storage,
+            dirpath=tmp_path if storage == "mmap" else None,
+        )
+        assert tri.num_triangles == 0
+        assert np.all(np.asarray(tri.tptr) == 0)
+        assert len(tri.tinc) == 0
+
+    def test_mmap_layout_reopens_as_triangle_index(self, tmp_path):
+        # the builder's on-disk output IS the dist ranks' read format
+        csr = _as_csr(complete_graph(5))
+        built = ib.build_triangle_index(csr, storage="mmap", dirpath=tmp_path)
+        reopened = ib.TriangleIndex.open(tmp_path)
+        for field in ib.TriangleIndex.FIELDS:
+            assert np.array_equal(
+                np.asarray(getattr(reopened, field)),
+                np.asarray(getattr(built, field)),
+            ), field
+        assert reopened.storage == "mmap"
+
+    def test_auto_spill_without_dirpath_is_cleanable(self, monkeypatch):
+        # auto with no caller dirpath mkdtemps; the index owns that
+        # directory and cleanup() must remove it (and only that case)
+        monkeypatch.setattr(ib, "_AUTO_MMAP_INDEX_BYTES", 1)
+        csr = _as_csr(complete_graph(6))
+        tri = ib.build_triangle_index(csr, storage="auto")
+        assert tri.storage == "mmap" and tri.owns_dirpath
+        spilled = tri.dirpath
+        assert spilled.exists()
+        tri.cleanup()
+        assert not spilled.exists()
+        tri.cleanup()  # idempotent
+
+    def test_cleanup_leaves_caller_dirs_alone(self, tmp_path):
+        csr = _as_csr(complete_graph(5))
+        tri = ib.build_triangle_index(csr, storage="mmap", dirpath=tmp_path)
+        assert not tri.owns_dirpath
+        tri.cleanup()
+        assert (tmp_path / "tinc.npy").exists()
+
+    def test_unknown_storage_rejected(self):
+        csr = _as_csr(complete_graph(4))
+        with pytest.raises(DecompositionError):
+            ib.build_triangle_index(csr, storage="tape")
+
+    def test_mmap_without_dirpath_rejected(self):
+        csr = _as_csr(complete_graph(4))
+        with pytest.raises(DecompositionError):
+            ib.build_triangle_index(csr, storage="mmap")
