@@ -14,6 +14,7 @@ from repro.bench.harness import (
     figure1_rows,
     figure2_rows,
     flat_engine_rows,
+    kernel_ablation_rows,
     measure,
     print_table,
     table2_rows,
@@ -39,6 +40,7 @@ __all__ = [
     "table5_rows",
     "table6_rows",
     "flat_engine_rows",
+    "kernel_ablation_rows",
     "figure1_rows",
     "figure2_rows",
     "print_table",

@@ -194,6 +194,67 @@ def flat_engine_rows(
 
 
 # ---------------------------------------------------------------------------
+# Ablation — pluggable wave-step kernels: python vs numpy vs numba
+# ---------------------------------------------------------------------------
+def kernel_ablation_rows(
+    scale: float = 1.0,
+    names: Optional[Sequence[str]] = None,
+    kernels: Optional[Sequence[str]] = None,
+    repeats: int = 2,
+) -> List[Dict]:
+    """The :mod:`repro.kernels` backends on the flat engine, same truth.
+
+    Every backend's run is asserted equal to the first backend's result
+    before its time is reported — the kernel contract says the wave
+    schedule (and therefore the map) is backend-invariant.  Timing is
+    best-of-``repeats`` without tracemalloc.  ``kernels`` defaults to
+    every backend constructible in this process (the numba column only
+    appears where the optional package is installed); datasets default
+    to the small registry pair because the interpreted python backend
+    sets the floor of this comparison.
+    """
+    from repro.kernels import available_kernels
+
+    backends = list(kernels) if kernels else list(available_kernels())
+    rows = []
+    for name in names or SMALL_DATASETS:
+        g = load_dataset(name, scale=scale)
+        ref = None
+        row: Dict = {"dataset": name, "|E|": g.num_edges}
+        for backend in backends:
+            seconds = None
+            for _ in range(max(1, repeats)):
+                run = measure(
+                    lambda: truss_decomposition_flat(g, kernel=backend),
+                    track_memory=False,
+                )
+                if ref is None:
+                    ref = run.result
+                else:
+                    assert run.result == ref, (name, backend)
+                seconds = (
+                    run.seconds
+                    if seconds is None
+                    else min(seconds, run.seconds)
+                )
+            row[f"{backend} (s)"] = seconds
+        row["kmax"] = ref.kmax
+        extra = ref.stats.extra
+        row["waves"] = extra.get("waves", 0)
+        row["triangles"] = extra.get("triangles", 0)
+        if "python (s)" in row and "numpy (s)" in row:
+            row["numpy speedup vs python"] = row["python (s)"] / max(
+                row["numpy (s)"], 1e-9
+            )
+        if "numba (s)" in row and "numpy (s)" in row:
+            row["numba speedup vs numpy"] = row["numpy (s)"] / max(
+                row["numba (s)"], 1e-9
+            )
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Ablation — parallel wave peel: worker-count sweep
 # ---------------------------------------------------------------------------
 def parallel_scaling_rows(

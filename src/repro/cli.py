@@ -22,7 +22,9 @@ rank) and ``--transport loopback|tcp`` picks the message fabric —
 in-process queues or rank processes over framed localhost sockets.
 ``--index-storage ram|mmap`` selects where the streamed triangle-index
 builder puts the O(|△G|) incidence index (default: auto by size;
-``mmap`` holds driver memory at O(m) however many triangles).
+``mmap`` holds driver memory at O(m) however many triangles), and
+``--kernel auto|python|numpy|numba`` picks the pluggable wave-step
+backend from :mod:`repro.kernels` that every engine's inner loop runs.
 """
 
 from __future__ import annotations
@@ -74,13 +76,17 @@ def cmd_decompose(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-    if args.index_storage is not None and args.method not in CSR_METHODS:
-        print(
-            f"error: --index-storage only applies to --method "
-            f"{'|'.join(CSR_METHODS)} (got --method {args.method})",
-            file=sys.stderr,
-        )
-        return 2
+    for flag, value in (
+        ("--index-storage", args.index_storage),
+        ("--kernel", args.kernel),
+    ):
+        if value is not None and args.method not in CSR_METHODS:
+            print(
+                f"error: {flag} only applies to --method "
+                f"{'|'.join(CSR_METHODS)} (got --method {args.method})",
+                file=sys.stderr,
+            )
+            return 2
     if args.method in CSR_METHODS and (
         args.top is not None or args.memory_fraction is not None
     ):
@@ -107,7 +113,7 @@ def cmd_decompose(args: argparse.Namespace) -> int:
         td = truss_decomposition(
             csr, method=args.method, jobs=args.jobs, shards=args.shards,
             ranks=args.ranks, transport=args.transport,
-            index_storage=args.index_storage,
+            index_storage=args.index_storage, kernel=args.kernel,
         )
         elapsed = time.perf_counter() - start
     else:
@@ -268,6 +274,18 @@ def build_parser() -> argparse.ArgumentParser:
             "read-only — O(m) driver memory however many triangles "
             "(default: auto by size; --method dist always reads it "
             "from disk)"
+        ),
+    )
+    p.add_argument(
+        "--kernel",
+        default=None,
+        choices=["auto", "python", "numpy", "numba"],
+        help=(
+            "wave-step backend for the CSR methods: 'python' "
+            "(interpreted stdlib loops), 'numpy' (the vectorized "
+            "reference), 'numba' (JIT-compiled, needs the optional "
+            "numba package), or 'auto' to pick the best available "
+            "(default: auto)"
         ),
     )
     p.add_argument(

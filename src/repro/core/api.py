@@ -91,6 +91,7 @@ def truss_decomposition(
     ranks: Optional[int] = None,
     transport: Optional[str] = None,
     index_storage: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> TrussDecomposition:
     """Compute the truss decomposition of ``g``.
 
@@ -121,6 +122,10 @@ def truss_decomposition(
             (streamed to disk through the counting builder and mapped
             read-only).  ``None`` is auto: by size for flat/parallel,
             always on disk for dist (whose ranks mmap it regardless).
+        kernel: for the CSR methods, the wave-step backend from
+            :mod:`repro.kernels` — ``"auto"`` (default), ``"python"``,
+            ``"numpy"`` or ``"numba"``; one backend runs the inner
+            step of every engine, worker and rank alike.
 
     Returns:
         A :class:`TrussDecomposition`; for ``top_t`` runs it is partial
@@ -138,6 +143,8 @@ def truss_decomposition(
     ]
     if index_storage is not None and method not in CSR_METHODS:
         bad.append("index_storage")
+    if kernel is not None and method not in CSR_METHODS:
+        bad.append("kernel")
     if bad:
         raise DecompositionError(
             f"method {method!r} does not accept: {', '.join(bad)}"
@@ -152,17 +159,20 @@ def truss_decomposition(
         return truss_decomposition_improved(g)
     if method == "flat":
         _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
-        return truss_decomposition_flat(g, index_storage=index_storage)
+        return truss_decomposition_flat(
+            g, index_storage=index_storage, kernel=kernel
+        )
     if method == "parallel":
         _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
         return truss_decomposition_parallel(
-            g, jobs=jobs, shards=shards, index_storage=index_storage
+            g, jobs=jobs, shards=shards, index_storage=index_storage,
+            kernel=kernel,
         )
     if method == "dist":
         _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
         return truss_decomposition_dist(
             g, ranks=ranks, transport=transport,
-            index_storage=index_storage,
+            index_storage=index_storage, kernel=kernel,
         )
     if method == "baseline":
         _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
@@ -219,6 +229,7 @@ def decompose_file(
     ranks: Optional[int] = None,
     transport: Optional[str] = None,
     index_storage: Optional[str] = None,
+    kernel: Optional[str] = None,
     **kwargs,
 ) -> TrussDecomposition:
     """Truss-decompose an edge-list file, riding the ingest fast path.
@@ -235,14 +246,15 @@ def decompose_file(
         csr = CSRGraph.from_edge_list_file(path)
         return truss_decomposition(
             csr, method=method, jobs=jobs, shards=shards, ranks=ranks,
-            transport=transport, index_storage=index_storage, **kwargs
+            transport=transport, index_storage=index_storage,
+            kernel=kernel, **kwargs
         )
     from repro.graph.io import read_edge_list
 
     return truss_decomposition(
         read_edge_list(path), method=method, jobs=jobs, shards=shards,
         ranks=ranks, transport=transport, index_storage=index_storage,
-        **kwargs
+        kernel=kernel, **kwargs
     )
 
 

@@ -58,6 +58,7 @@ from repro.dist.transport import (
     open_listener,
 )
 from repro.errors import DecompositionError
+from repro.kernels import resolve_kernel
 from repro.partition.edge_shards import plan_edge_shards
 
 try:  # optional accelerator; the stdlib fallback degrades to core.flat
@@ -110,6 +111,7 @@ def _run_loopback(
     index_dir: str,
     bounds: List[int],
     kill_rank: Optional[int],
+    kernel: Optional[str] = None,
 ):
     fabric = LoopbackFabric(nranks)
     results: List = [None] * nranks
@@ -123,7 +125,9 @@ def _run_loopback(
                     f"rank {r} killed by fault injection"
                 )
             tri = TriangleIndex.open(index_dir)
-            results[r] = Rank(r, nranks, tp, bounds, tri).run()
+            results[r] = Rank(
+                r, nranks, tp, bounds, tri, kernel=kernel
+            ).run()
         except BaseException as exc:
             failures[r] = exc
             tp.abort()  # unblock peers waiting on this rank
@@ -184,6 +188,7 @@ def _tcp_rank_main(
     bounds: List[int],
     kill_rank: Optional[int],
     timeout: float,
+    kernel: Optional[str] = None,
 ) -> None:
     """Rank-process entry: handshake, peel, report — or die loudly.
 
@@ -203,7 +208,9 @@ def _tcp_rank_main(
         if kill_rank == rank:
             os._exit(42)  # fault injection: vanish mid-protocol
         tri = TriangleIndex.open(index_dir)
-        phi, k, st = Rank(rank, nranks, tp, bounds, tri).run()
+        phi, k, st = Rank(
+            rank, nranks, tp, bounds, tri, kernel=kernel
+        ).run()
         conn.send(("ok", rank, phi.tobytes(), k, st))
     except BaseException as exc:
         try:
@@ -271,6 +278,7 @@ def _run_tcp(
     bounds: List[int],
     kill_rank: Optional[int],
     timeout: float = DEFAULT_TIMEOUT,
+    kernel: Optional[str] = None,
 ):
     ctx = _mp.get_context()
     procs: List = []
@@ -282,7 +290,7 @@ def _run_tcp(
                 target=_tcp_rank_main,
                 args=(
                     r, nranks, child, index_dir, bounds, kill_rank,
-                    timeout,
+                    timeout, kernel,
                 ),
                 daemon=True,
             )
@@ -335,6 +343,7 @@ def truss_decomposition_dist(
     ranks: Optional[int] = None,
     transport: Optional[str] = None,
     index_storage: Optional[str] = None,
+    kernel: Optional[str] = None,
     *,
     _kill_rank: Optional[int] = None,
 ) -> TrussDecomposition:
@@ -357,6 +366,9 @@ def truss_decomposition_dist(
             the driver never holds a triangle-length array; ``"ram"``
             builds the bundle in RAM first and writes it whole (only
             sensible on small graphs).
+        kernel: the wave-step backend (``"auto"``/``"python"``/
+            ``"numpy"``/``"numba"``; ``None``: auto), resolved by the
+            driver and pinned on every rank.
         _kill_rank: fault-injection hook for the tests — the named
             rank dies mid-protocol (``os._exit`` under tcp, an
             exception under loopback) and the driver must surface a
@@ -372,6 +384,7 @@ def truss_decomposition_dist(
     storage = resolve_index_storage(index_storage)
     if storage == "auto":
         storage = "mmap"
+    kname = resolve_kernel(kernel)
     csr = _as_csr(g)
     m = csr.num_edges
     stats = DecompositionStats(method="dist")
@@ -387,6 +400,7 @@ def truss_decomposition_dist(
     nranks = _resolve_ranks(ranks, m)
     stats.record("ranks", nranks)
     stats.record("index_storage", storage)
+    stats.record("kernel", kname)
     if not m:
         return result_from_phi(csr, array("q"), 2, stats)
     with tempfile.TemporaryDirectory(prefix="repro-dist-") as tmp:
@@ -407,11 +421,11 @@ def truss_decomposition_dist(
         del tri
         if mode == "tcp":
             phi, k, rank_stats = _run_tcp(
-                nranks, tmp, bounds, _kill_rank
+                nranks, tmp, bounds, _kill_rank, kernel=kname
             )
         else:
             phi, k, rank_stats = _run_loopback(
-                nranks, tmp, bounds, _kill_rank
+                nranks, tmp, bounds, _kill_rank, kernel=kname
             )
     # the schedule is identical on every rank; rank 0 speaks for it
     head = rank_stats[0]

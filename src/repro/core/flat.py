@@ -55,6 +55,7 @@ from repro.core.decomposition import DecompositionStats, TrussDecomposition
 from repro.errors import DecompositionError
 from repro.graph.adjacency import Graph
 from repro.graph.csr import CSRGraph
+from repro.kernels import PeelKernel, get_kernel, resolve_kernel
 from repro.triangles.index_builder import (
     INDEX_STORAGES,
     TriangleIndex,
@@ -214,47 +215,12 @@ def initial_supports(csr: CSRGraph) -> array:
     return _initial_supports_python(csr, m)
 
 
-def _collect_hits_arrays(tptr, tinc, tdead, frontier):
-    """Still-live triangles destroyed by popping ``frontier``'s edges.
-
-    The gather step of a wave: one incidence window per frontier edge,
-    filtered against ``tdead``, deduped.  Shared verbatim by the serial
-    wave peel and the parallel workers (which call it on their
-    shared-memory views with their slice of the frontier).
-    """
-    if not frontier.size:
-        return _np.zeros(0, dtype=_np.int64)
-    cnt = tptr[frontier + 1] - tptr[frontier]
-    total = int(cnt.sum())
-    if total == 0:
-        return _np.zeros(0, dtype=_np.int64)
-    ends = _np.cumsum(cnt)
-    offs = _np.arange(total, dtype=_np.int64) - _np.repeat(ends - cnt, cnt)
-    slots = _np.repeat(tptr[frontier], cnt) + offs
-    hit = tinc[slots]
-    return _np.unique(hit[~tdead[hit]])
-
-
-def _count_decrements_arrays(e1, e2, e3, alive, hit):
-    """Decrement buffer ``(edge ids, counts)`` for destroyed triangles.
-
-    The scatter half of a wave: each dead triangle decrements its
-    still-alive partner edges once.  Also shared between the serial
-    peel and the parallel workers.
-    """
-    if not hit.size:
-        empty = _np.zeros(0, dtype=_np.int64)
-        return empty, empty
-    partners = _np.concatenate((e1[hit], e2[hit], e3[hit]))
-    partners = partners[alive[partners]]
-    return _np.unique(partners, return_counts=True)
-
-
 def run_wave_peel(
     m: int,
     views,
     collect,
     decrement,
+    kernel: Optional[PeelKernel] = None,
     split_frontier=None,
     split_hits=None,
     run_map=None,
@@ -270,6 +236,13 @@ def run_wave_peel(
     peel, and :mod:`repro.core.parallel` passes a worker pool's ``map``
     plus range partitioners to fan the same schedule out — one loop,
     one invariant, bit-identical results either way.
+
+    The wave inner step itself — frontier pop, decrement-buffer merge,
+    support/histogram commit — is executed by ``kernel``, a
+    :class:`repro.kernels.PeelKernel` backend (``None``: the process's
+    auto-selected backend); ``collect``/``decrement`` are expected to
+    route to the same kernel's gather/count entry points, so the
+    registry is the only wave-step code path.
 
     At level ``k``, every live edge with support <= k-2 pops in one
     wave (Kabir & Madduri's shared-memory style; supports stay *exact*:
@@ -295,6 +268,7 @@ def run_wave_peel(
     split_hits = split_hits or identity
     if run_map is None:
         run_map = lambda fn, parts: [fn(p) for p in parts]  # noqa: E731
+    kern = kernel if kernel is not None else get_kernel()
     sup, alive, tdead = views["sup"], views["alive"], views["tdead"]
     phi = _np.zeros(m, dtype=_np.int64)
     # alive-support histogram; supports only decrease, so its length is
@@ -315,10 +289,8 @@ def run_wave_peel(
         while frontier.size:
             waves += 1
             max_wave = max(max_wave, int(frontier.size))
-            phi[frontier] = k
-            alive[frontier] = False
+            kern.pop_frontier(sup, alive, phi, hist, frontier, k)
             remaining -= int(frontier.size)
-            _np.subtract.at(hist, sup[frontier], 1)
             # gather: destroyed-triangle candidates per partition, with
             # a cross-partition dedupe (one partition needs none)
             parts = split_frontier(frontier)
@@ -340,21 +312,8 @@ def run_wave_peel(
                 ipc_bytes += sum(
                     int(b[0].nbytes) + int(b[1].nbytes) for b in buffers
                 )
-            if len(buffers) == 1:
-                touched, dec = buffers[0]
-            else:
-                ids = _np.concatenate([b[0] for b in buffers])
-                cnts = _np.concatenate([b[1] for b in buffers])
-                touched, inv = _np.unique(ids, return_inverse=True)
-                dec = _np.bincount(
-                    inv, weights=cnts, minlength=len(touched)
-                ).astype(_np.int64)
-            old = sup[touched]
-            new = old - dec
-            sup[touched] = new
-            _np.subtract.at(hist, old, 1)
-            _np.add.at(hist, new, 1)
-            frontier = touched[new <= k - 2]
+            touched, dec = kern.merge_decrements(buffers)
+            frontier = kern.apply_decrements(sup, hist, touched, dec, k)
     return phi, k, {
         "waves": waves,
         "levels": levels,
@@ -364,11 +323,15 @@ def run_wave_peel(
 
 
 def _peel_over_index(
-    tri: TriangleIndex, m: int, stats: Optional[DecompositionStats]
+    tri: TriangleIndex,
+    m: int,
+    stats: Optional[DecompositionStats],
+    kern: Optional[PeelKernel] = None,
 ) -> Tuple[array, int]:
     """:func:`run_wave_peel` with the identity map over a built index."""
     e1, e2, e3 = tri.e1, tri.e2, tri.e3
     tptr, tinc = tri.tptr, tri.tinc
+    kern = kern if kern is not None else get_kernel()
     views = {
         "sup": tri.initial_supports(),
         "alive": _np.ones(m, dtype=bool),
@@ -377,14 +340,18 @@ def _peel_over_index(
     if stats is not None:
         stats.record("index_storage", tri.storage)
         stats.record("triangles", tri.num_triangles)
-    phi, k, _stats = run_wave_peel(
+    phi, k, wave_stats = run_wave_peel(
         m,
         views,
-        lambda f: _collect_hits_arrays(tptr, tinc, views["tdead"], f),
-        lambda h: _count_decrements_arrays(
-            e1, e2, e3, views["alive"], h
+        lambda f: kern.gather_incident(tptr, tinc, f, views["tdead"]),
+        lambda h: kern.count_decrements(
+            e1, e2, e3, h, views["alive"]
         ),
+        kernel=kern,
     )
+    if stats is not None:
+        for key, value in wave_stats.items():
+            stats.record(key, value)
     return array("q", phi.tobytes()), k
 
 
@@ -393,6 +360,7 @@ def _peel_waves(
     m: int,
     index_storage: Optional[str] = None,
     stats: Optional[DecompositionStats] = None,
+    kern: Optional[PeelKernel] = None,
 ) -> Tuple[array, int]:
     """Serial wave peeling over the streamed triangle index (numpy).
 
@@ -407,12 +375,12 @@ def _peel_waves(
     """
     mode = resolve_index_storage(index_storage)
     if mode == "ram":
-        return _peel_over_index(build_triangle_index(csr), m, stats)
+        return _peel_over_index(build_triangle_index(csr), m, stats, kern)
     # "mmap" or "auto" (which may still choose ram — the tempdir is
     # then simply empty): the on-disk index lives only for the peel
     with tempfile.TemporaryDirectory(prefix="repro-triidx-") as tmp:
         tri = build_triangle_index(csr, storage=mode, dirpath=tmp)
-        return _peel_over_index(tri, m, stats)
+        return _peel_over_index(tri, m, stats, kern)
 
 
 def _peel_wedge_bisect(
@@ -538,22 +506,29 @@ def result_from_phi(
 
 
 def truss_decomposition_flat(
-    g, index_storage: Optional[str] = None
+    g,
+    index_storage: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> TrussDecomposition:
     """Run Algorithm 2 over flat edge arrays.
 
     ``g`` may be a :class:`Graph` (snapshotted, not modified) or a
     :class:`CSRGraph` built by the streaming ingest.  ``index_storage``
     picks the triangle index's destination (``"ram"``/``"mmap"``;
-    ``None``: auto by size) — the stdlib fallback peels without an
-    index and ignores it.
+    ``None``: auto by size) and ``kernel`` the wave-step backend
+    (``"auto"``/``"python"``/``"numpy"``/``"numba"``; ``None``: auto)
+    — the stdlib fallback peels without an index and ignores both.
     """
     resolve_index_storage(index_storage)  # validate eagerly, any path
+    kname = resolve_kernel(kernel)
     csr = _as_csr(g)
     m = csr.num_edges
     stats = DecompositionStats(method="flat")
     if _np is not None and m:
-        phi, k = _peel_waves(csr, m, index_storage, stats)
+        stats.record("kernel", kname)
+        phi, k = _peel_waves(
+            csr, m, index_storage, stats, get_kernel(kname)
+        )
     else:
         sup = _initial_supports_python(csr, m)
         eu, ev = csr.edge_endpoints()

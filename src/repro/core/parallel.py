@@ -107,8 +107,6 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.decomposition import DecompositionStats, TrussDecomposition
 from repro.core.flat import (
     _as_csr,
-    _collect_hits_arrays,
-    _count_decrements_arrays,
     _initial_supports_python,
     _peel_wedge_bisect,
     resolve_index_storage,
@@ -116,6 +114,7 @@ from repro.core.flat import (
     run_wave_peel,
 )
 from repro.errors import DecompositionError
+from repro.kernels import PeelKernel, get_kernel, resolve_kernel
 from repro.graph.csr import CSRGraph
 from repro.partition.edge_shards import (
     balanced_prefix_cuts,
@@ -149,6 +148,18 @@ SHARD_MODES = ("dynamic", "static")
 #: worker-side state: name -> numpy view over an attached shm block
 _WORKER_VIEWS: Dict[str, object] = {}
 
+#: worker-side kernel backend, pinned by the pool initializer so every
+#: worker runs the same backend the coordinator resolved
+_WORKER_KERNEL: Optional[PeelKernel] = None
+
+
+def _worker_kernel() -> PeelKernel:
+    """This process's pinned backend (auto-resolved outside a pool)."""
+    global _WORKER_KERNEL
+    if _WORKER_KERNEL is None:
+        _WORKER_KERNEL = get_kernel()
+    return _WORKER_KERNEL
+
 
 def _resolve_jobs(jobs: Optional[int], m: int) -> int:
     """An explicit ``jobs`` is honored exactly; ``None`` is heuristic."""
@@ -176,6 +187,7 @@ def _resolve_shards(shards: Optional[str]) -> str:
 def _attach_worker(
     spec: Dict[str, Tuple[Optional[str], tuple, str]],
     index_dir: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> None:
     """Pool initializer: map every shared block as a numpy view.
 
@@ -197,6 +209,8 @@ def _attach_worker(
     """
     from multiprocessing import resource_tracker
 
+    global _WORKER_KERNEL
+    _WORKER_KERNEL = get_kernel(kernel)
     _WORKER_VIEWS.clear()
     segments = []
     original_register = resource_tracker.register
@@ -223,82 +237,77 @@ def _attach_worker(
 def _collect_hits(frontier):
     """Phase 1 (in a worker): destroyed triangles for a frontier slice.
 
-    A picklable module-level shim over the shared gather logic in
-    :func:`repro.core.flat._collect_hits_arrays`, reading the
-    shared-memory views this worker attached at pool init.
+    A picklable module-level shim over the pinned kernel's incidence
+    gather (:meth:`repro.kernels.PeelKernel.gather_incident`), reading
+    the shared-memory views this worker attached at pool init.
     """
     views = _WORKER_VIEWS
-    return _collect_hits_arrays(
-        views["tptr"], views["tinc"], views["tdead"], frontier
+    return _worker_kernel().gather_incident(
+        views["tptr"], views["tinc"], frontier, views["tdead"]
     )
 
 
 def _count_decrements(hit):
     """Phase 2 (in a worker): the decrement buffer for a triangle slice."""
     views = _WORKER_VIEWS
-    return _count_decrements_arrays(
-        views["e1"], views["e2"], views["e3"], views["alive"], hit
+    return _worker_kernel().count_decrements(
+        views["e1"], views["e2"], views["e3"], hit, views["alive"]
     )
 
 
 # --- static-shard tasks: ownership travels with the task, and every
 # --- write lands inside the owning shard's slices
-def _static_collect_views(views, task):
+def _static_collect_views(views, task, kern: PeelKernel):
     """Phase 1 (static): the owning shard pops its frontier edges.
 
     ``task`` is ``(shard, owned_frontier, k)``.  The shard writes only
-    state it owns — its ``phi``/``alive`` entries and histogram row —
-    then gathers the destroyed-triangle candidates from its edges'
-    incidence windows.
+    state it owns — its ``phi``/``alive`` entries and histogram row
+    (the kernel pop over the shared views plus row ``s`` of the
+    per-shard histogram) — then gathers the destroyed-triangle
+    candidates from its edges' incidence windows.
     """
     s, part, k = task
-    sup = views["sup"]
-    views["phi"][part] = k
-    _np.subtract.at(views["hist"][s], sup[part], 1)
-    views["alive"][part] = False
-    return _collect_hits_arrays(
-        views["tptr"], views["tinc"], views["tdead"], part
+    kern.pop_frontier(
+        views["sup"], views["alive"], views["phi"],
+        views["hist"][s], part, k,
+    )
+    return kern.gather_incident(
+        views["tptr"], views["tinc"], part, views["tdead"]
     )
 
 
-def _static_decrement_views(views, task):
+def _static_decrement_views(views, task, kern: PeelKernel):
     """Phase 2 (static): the owning shard applies its routed decrements.
 
     ``task`` is ``(shard, routed_triangles, k)``: the dead triangles
     with at least one partner edge in this shard, deduped by the
-    router.  The shard decrements its own support slice and histogram
-    row and returns the owned edges that fell to the wave floor — the
-    shard's contribution to the next frontier.
+    router.  The shard counts its owned still-alive partners (the
+    kernel's bounded scatter count — partners outside ``[lo, hi)``
+    belong to other shards; ``base=0``, the views are global), commits
+    them to its own support slice and histogram row, and returns the
+    owned edges that fell to the wave floor — the shard's contribution
+    to the next frontier.
     """
     s, tris, k = task
     bounds = views["shard_bounds"]
     lo, hi = int(bounds[s]), int(bounds[s + 1])
-    partners = _np.concatenate(
-        (views["e1"][tris], views["e2"][tris], views["e3"][tris])
+    touched, dec = kern.count_decrements(
+        views["e1"], views["e2"], views["e3"], tris, views["alive"],
+        lo=lo, hi=hi,
     )
-    partners = partners[(partners >= lo) & (partners < hi)]
-    partners = partners[views["alive"][partners]]
-    if not partners.size:
-        return _np.zeros(0, dtype=_np.int64)
-    touched, dec = _np.unique(partners, return_counts=True)
-    sup = views["sup"]
-    old = sup[touched]
-    new = old - dec
-    sup[touched] = new
-    hist_row = views["hist"][s]
-    _np.subtract.at(hist_row, old, 1)
-    _np.add.at(hist_row, new, 1)
-    return touched[new <= k - 2]
+    return kern.apply_decrements(
+        views["sup"], views["hist"][s], touched, dec, k
+    )
 
 
 def _static_collect(task):
     """Picklable pool entry for :func:`_static_collect_views`."""
-    return _static_collect_views(_WORKER_VIEWS, task)
+    return _static_collect_views(_WORKER_VIEWS, task, _worker_kernel())
 
 
 def _static_decrement(task):
     """Picklable pool entry for :func:`_static_decrement_views`."""
-    return _static_decrement_views(_WORKER_VIEWS, task)
+    return _static_decrement_views(_WORKER_VIEWS, task, _worker_kernel())
 
 
 # ---------------------------------------------------------------------------
@@ -501,6 +510,7 @@ def _peel_waves_shared(
     shards: str,
     stats: DecompositionStats,
     index_storage: Optional[str] = None,
+    kname: Optional[str] = None,
 ) -> Tuple[array, int]:
     """The wave peel of ``flat``, fanned out over ``jobs`` workers.
 
@@ -519,6 +529,7 @@ def _peel_waves_shared(
     triangle-length shm copy exists anywhere).
     """
     mode = resolve_index_storage(index_storage)
+    kern = get_kernel(kname)
     with tempfile.TemporaryDirectory(prefix="repro-triidx-") as tmp:
         tri = build_triangle_index(
             csr, storage=mode, dirpath=tmp if mode != "ram" else None
@@ -546,8 +557,8 @@ def _peel_waves_shared(
                     m,
                     views,
                     plan,
-                    lambda t: _static_collect_views(views, t),
-                    lambda t: _static_decrement_views(views, t),
+                    lambda t: _static_collect_views(views, t, kern),
+                    lambda t: _static_decrement_views(views, t, kern),
                 )
         else:
             tptr, tinc = index_views["tptr"], index_views["tinc"]
@@ -561,6 +572,7 @@ def _peel_waves_shared(
                     views,
                     _collect_hits,  # workers read attached views
                     _count_decrements,
+                    kernel=kern,
                     split_frontier=lambda f: _split_weighted(
                         f, tptr, jobs
                     ),
@@ -571,16 +583,17 @@ def _peel_waves_shared(
 
             def run_inline(views):
                 # inline closures over the local arrays: no pool, no
-                # shared memory, no module globals — plain numpy
+                # shared memory, no module globals — one kernel instance
                 return run_wave_peel(
                     m,
                     views,
-                    lambda f: _collect_hits_arrays(
-                        tptr, tinc, views["tdead"], f
+                    lambda f: kern.gather_incident(
+                        tptr, tinc, f, views["tdead"]
                     ),
-                    lambda h: _count_decrements_arrays(
-                        e1, e2, e3, views["alive"], h
+                    lambda h: kern.count_decrements(
+                        e1, e2, e3, h, views["alive"]
                     ),
+                    kernel=kern,
                 )
 
         blocks = None
@@ -592,10 +605,10 @@ def _peel_waves_shared(
                 # mutable state is always shm
                 if tri.storage == "mmap":
                     blocks = _SharedBlocks(mutable)
-                    initargs = (blocks.spec, str(tri.dirpath))
+                    initargs = (blocks.spec, str(tri.dirpath), kern.name)
                 else:
                     blocks = _SharedBlocks({**index_views, **mutable})
-                    initargs = (blocks.spec, None)
+                    initargs = (blocks.spec, None, kern.name)
                 pool = _mp.get_context().Pool(
                     processes=jobs,
                     initializer=_attach_worker,
@@ -624,6 +637,7 @@ def truss_decomposition_parallel(
     jobs: Optional[int] = None,
     shards: Optional[str] = None,
     index_storage: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> TrussDecomposition:
     """Truss-decompose ``g`` with the shared-memory parallel wave peel.
 
@@ -644,13 +658,17 @@ def truss_decomposition_parallel(
             (shared-memory blocks), ``"mmap"`` (streamed to disk, every
             process maps it read-only), or ``None`` (auto by size).
             The stdlib fallback peels without an index and ignores it.
+        kernel: the wave-step backend (``"auto"``/``"python"``/
+            ``"numpy"``/``"numba"``; ``None``: auto), pinned on the
+            coordinator *and* every pool worker.
 
     Returns the identical trussness map as ``method="flat"`` and
-    ``method="improved"`` — neither the worker count, the shard mode
-    nor the index storage changes the wave schedule.
+    ``method="improved"`` — neither the worker count, the shard mode,
+    the index storage nor the kernel changes the wave schedule.
     """
     mode = _resolve_shards(shards)
     resolve_index_storage(index_storage)  # validate eagerly, any path
+    kname = resolve_kernel(kernel)
     csr = _as_csr(g)
     m = csr.num_edges
     stats = DecompositionStats(method="parallel")
@@ -665,7 +683,10 @@ def truss_decomposition_parallel(
         return result_from_phi(csr, phi, k if m else 2, stats)
     njobs = _resolve_jobs(jobs, m)
     stats.record("jobs", njobs)
+    stats.record("kernel", kname)
     if not m:
         return result_from_phi(csr, array("q"), 2, stats)
-    phi, k = _peel_waves_shared(csr, m, njobs, mode, stats, index_storage)
+    phi, k = _peel_waves_shared(
+        csr, m, njobs, mode, stats, index_storage, kname
+    )
     return result_from_phi(csr, phi, k, stats)

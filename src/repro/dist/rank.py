@@ -30,10 +30,11 @@ either transport.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.dist.exchange import allgather, alltoallv
 from repro.dist.transport import DistError, Transport
+from repro.kernels import PeelKernel, get_kernel
 from repro.partition.edge_shards import route_dead_triangles
 
 # the index class lives with its builder; re-exported here because the
@@ -69,6 +70,7 @@ class Rank:
         transport: Transport,
         bounds: Sequence[int],
         tri: TriangleIndex,
+        kernel: Optional[str] = None,
     ) -> None:
         if len(bounds) != size + 1:
             raise DistError(
@@ -81,28 +83,9 @@ class Rank:
         self.lo = int(bounds[rank])
         self.hi = int(bounds[rank + 1])
         self.tri = tri
-
-    # ------------------------------------------------------------------
-    def _incident_triangles(self, edge_ids):
-        """Deduped triangle ids incident to the given global edge ids.
-
-        The collect gather of :func:`repro.core.flat._collect_hits_arrays`
-        minus the ``tdead`` filter — liveness of a triangle is decided
-        by its hash owner, not here, so already-dead candidates may be
-        (re)sent and are dropped at the owner.
-        """
-        tptr, tinc = self.tri.tptr, self.tri.tinc
-        starts = _np.asarray(tptr[edge_ids], dtype=_np.int64)
-        cnt = _np.asarray(tptr[edge_ids + 1], dtype=_np.int64) - starts
-        total = int(cnt.sum())
-        if not total:
-            return _np.zeros(0, dtype=_np.int64)
-        ends = _np.cumsum(cnt)
-        offs = _np.arange(total, dtype=_np.int64) - _np.repeat(
-            ends - cnt, cnt
-        )
-        slots = _np.repeat(starts, cnt) + offs
-        return _np.unique(_np.asarray(tinc[slots], dtype=_np.int64))
+        # the wave-step backend; every rank pins the name the driver
+        # resolved, so one peel never mixes kernels across ranks
+        self.kernel: PeelKernel = get_kernel(kernel)
 
     @staticmethod
     def _local_floor(hist, floor: int) -> int:
@@ -124,10 +107,12 @@ class Rank:
         (remaining live edges, local support floor).
         """
         tp = self.transport
+        kern = self.kernel
         R, lo, hi = self.size, self.lo, self.hi
         mloc = hi - lo
         tri = self.tri
         e1, e2, e3 = tri.e1, tri.e2, tri.e3
+        tptr, tinc = tri.tptr, tri.tinc
         n_tri = tri.num_triangles
         # initial support == triangle-incidence count == tptr run length
         sup = _np.diff(_np.asarray(tri.tptr[lo:hi + 1], dtype=_np.int64))
@@ -172,13 +157,14 @@ class Rank:
                     break
                 waves += 1
                 max_wave = max(max_wave, total)
-                # pop the owned frontier: phi/alive/hist are ours alone
+                # pop the owned frontier: phi/alive/hist are ours alone.
+                # The gather passes tdead=None — liveness of a triangle
+                # is decided by its hash owner, not here, so already-
+                # dead candidates may be (re)sent and are dropped there
                 if frontier.size:
-                    phi[frontier] = k
-                    _np.subtract.at(hist, sup[frontier], 1)
-                    alive[frontier] = False
+                    kern.pop_frontier(sup, alive, phi, hist, frontier, k)
                     remaining -= int(frontier.size)
-                    cand = self._incident_triangles(frontier + lo)
+                    cand = kern.gather_incident(tptr, tinc, frontier + lo)
                 else:
                     cand = empty
                 # exchange: candidate triangles to their hash owners
@@ -203,25 +189,15 @@ class Rank:
                 routed = alltoallv(tp, boxes)
                 exchange_rounds += 1
                 tris = _np.concatenate(routed)
-                frontier = empty
-                if tris.size:
-                    partners = _np.concatenate(
-                        (e1[tris], e2[tris], e3[tris])
-                    )
-                    partners = (
-                        partners[(partners >= lo) & (partners < hi)] - lo
-                    )
-                    partners = partners[alive[partners]]
-                    if partners.size:
-                        touched, dec = _np.unique(
-                            partners, return_counts=True
-                        )
-                        old = sup[touched]
-                        new = old - dec
-                        sup[touched] = new
-                        _np.subtract.at(hist, old, 1)
-                        _np.add.at(hist, new, 1)
-                        frontier = touched[new <= k - 2]
+                # bounded, offset scatter count: partners outside
+                # [lo, hi) belong to other ranks; base=lo makes the
+                # touched buffer shard-local like every array here
+                touched, dec = kern.count_decrements(
+                    e1, e2, e3, tris, alive, lo=lo, hi=hi, base=lo
+                )
+                frontier = kern.apply_decrements(
+                    sup, hist, touched, dec, k
+                )
         return phi, k, {
             "waves": waves,
             "levels": levels,

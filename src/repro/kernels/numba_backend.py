@@ -1,0 +1,194 @@
+"""Optional ``@njit``-compiled backend (import-gated; never required).
+
+The four hot operations — frontier pop, incidence gather, partner
+count, support/histogram commit — are nopython loops compiled with
+``cache=True``, so the first process ever to run them pays the JIT
+compile and every later process (pool workers, TCP rank processes, the
+next benchmark run) loads the on-disk cache instead.  Construction
+runs :meth:`NumbaKernel.warmup`, compiling every entry point on tiny
+arrays of the real dtypes, so the first wave of a peel is never the
+one that compiles.
+
+``merge_decrements`` is inherited from the numpy reference backend:
+it is the dynamic-mode coordinator's reduction, not a per-edge loop,
+and keeping it shared is one less place for bit-identity to drift.
+
+Outputs are bit-identical to :class:`~repro.kernels.numpy_backend.
+NumpyKernel` by construction: gathers sort-then-dedupe (== ``np.
+unique``), counts run-length-encode a sorted partner buffer (==
+``np.unique(..., return_counts=True)``), and commits walk the sorted
+buffer in order.
+"""
+
+from __future__ import annotations
+
+import numpy as _np
+from numba import njit
+
+from repro.kernels.numpy_backend import NumpyKernel
+
+_EMPTY_I64 = _np.zeros(0, dtype=_np.int64)
+_EMPTY_BOOL = _np.zeros(0, dtype=_np.bool_)
+
+
+@njit(cache=True)
+def _pop(sup, alive, phi, hist, frontier, k):
+    for i in range(frontier.size):
+        e = frontier[i]
+        phi[e] = k
+        hist[sup[e]] -= 1
+        alive[e] = False
+
+
+@njit(cache=True)
+def _dedupe_sorted(buf):
+    """In-place dedupe of a sorted buffer; returns the unique prefix."""
+    n = buf.size
+    if n == 0:
+        return buf
+    w = 1
+    for i in range(1, n):
+        if buf[i] != buf[w - 1]:
+            buf[w] = buf[i]
+            w += 1
+    return buf[:w]
+
+
+@njit(cache=True)
+def _gather(tptr, tinc, edge_ids, tdead, use_tdead):
+    total = 0
+    for i in range(edge_ids.size):
+        e = edge_ids[i]
+        total += tptr[e + 1] - tptr[e]
+    buf = _np.empty(total, dtype=_np.int64)
+    n = 0
+    for i in range(edge_ids.size):
+        e = edge_ids[i]
+        for slot in range(tptr[e], tptr[e + 1]):
+            t = tinc[slot]
+            if use_tdead and tdead[t]:
+                continue
+            buf[n] = t
+            n += 1
+    buf = buf[:n]
+    buf.sort()
+    return _dedupe_sorted(buf)
+
+
+@njit(cache=True)
+def _count(e1, e2, e3, tris, alive, lo, hi, base, bounded):
+    buf = _np.empty(3 * tris.size, dtype=_np.int64)
+    n = 0
+    for i in range(tris.size):
+        t = tris[i]
+        for j in range(3):
+            if j == 0:
+                p = e1[t]
+            elif j == 1:
+                p = e2[t]
+            else:
+                p = e3[t]
+            if bounded and (p < lo or p >= hi):
+                continue
+            p -= base
+            if alive[p]:
+                buf[n] = p
+                n += 1
+    buf = buf[:n]
+    buf.sort()
+    if n == 0:
+        return buf, buf
+    touched = _np.empty(n, dtype=_np.int64)
+    counts = _np.empty(n, dtype=_np.int64)
+    w = 0
+    touched[0] = buf[0]
+    counts[0] = 1
+    for i in range(1, n):
+        if buf[i] == touched[w]:
+            counts[w] += 1
+        else:
+            w += 1
+            touched[w] = buf[i]
+            counts[w] = 1
+    return touched[:w + 1], counts[:w + 1]
+
+
+@njit(cache=True)
+def _apply(sup, hist, touched, counts, k):
+    out = _np.empty(touched.size, dtype=_np.int64)
+    floor = k - 2
+    n = 0
+    for i in range(touched.size):
+        e = touched[i]
+        old = sup[e]
+        new = old - counts[i]
+        sup[e] = new
+        hist[old] -= 1
+        hist[new] += 1
+        if new <= floor:
+            out[n] = e
+            n += 1
+    return out[:n]
+
+
+class NumbaKernel(NumpyKernel):
+    """JIT-compiled wave step over the flat eid-indexed state arrays."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        self.warmup()
+
+    @staticmethod
+    def warmup() -> None:
+        """Compile (or load from cache) every entry point up front."""
+        tptr = _np.zeros(2, dtype=_np.int64)
+        ids = _np.zeros(1, dtype=_np.int64)
+        flags = _np.ones(1, dtype=_np.bool_)
+        _pop(
+            _np.ones(1, dtype=_np.int64), flags.copy(),
+            _np.zeros(1, dtype=_np.int64), _np.zeros(2, dtype=_np.int64),
+            ids.copy(), 2,
+        )
+        _gather(tptr, _EMPTY_I64, ids.copy(), _EMPTY_BOOL, False)
+        _count(
+            ids, ids, ids, _EMPTY_I64, flags, 0, 1, 0, True
+        )
+        _apply(
+            _np.ones(1, dtype=_np.int64), _np.zeros(2, dtype=_np.int64),
+            _EMPTY_I64, _EMPTY_I64, 2,
+        )
+
+    def pop_frontier(self, sup, alive, phi, hist, frontier, k) -> None:
+        _pop(
+            _np.asarray(sup), _np.asarray(alive), _np.asarray(phi),
+            _np.asarray(hist),
+            _np.asarray(frontier, dtype=_np.int64), k,
+        )
+
+    def gather_incident(self, tptr, tinc, edge_ids, tdead=None):
+        # asarray unwraps mmapped index columns to plain ndarray views
+        # (no copy) so numba types them as ordinary arrays
+        return _gather(
+            _np.asarray(tptr), _np.asarray(tinc),
+            _np.asarray(edge_ids, dtype=_np.int64),
+            _EMPTY_BOOL if tdead is None else _np.asarray(tdead),
+            tdead is not None,
+        )
+
+    def count_decrements(
+        self, e1, e2, e3, tris, alive, lo=None, hi=None, base=0
+    ):
+        bounded = lo is not None
+        return _count(
+            _np.asarray(e1), _np.asarray(e2), _np.asarray(e3),
+            _np.asarray(tris, dtype=_np.int64), _np.asarray(alive),
+            lo if bounded else 0, hi if bounded else 0, base, bounded,
+        )
+
+    def apply_decrements(self, sup, hist, touched, counts, k):
+        return _apply(
+            _np.asarray(sup), _np.asarray(hist),
+            _np.asarray(touched, dtype=_np.int64),
+            _np.asarray(counts, dtype=_np.int64), k,
+        )

@@ -1,0 +1,94 @@
+"""The interpreted stdlib backend: plain loops, no vectorization.
+
+Always constructible — its only scratch state is ``dict``/``list``/
+``array`` and it indexes whatever buffers it is handed one element at
+a time, so it runs over numpy arrays, mmaps or ``array('q')`` alike.
+It exists as the admissibility baseline (any input a compiled backend
+mishandles can be replayed here) and as the worst-case timing floor
+the kernel ablation records; outputs are converted to int64 ndarrays
+when numpy is importable so engines can keep routing them through
+``searchsorted``/``split`` without caring which backend ran.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.kernels import PeelKernel
+
+try:  # only used to shape outputs for the numpy-substrate engines
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+def _out(values):
+    """An int64 output buffer from a python list of ints."""
+    if _np is not None:
+        return _np.asarray(values, dtype=_np.int64)
+    return array("q", values)
+
+
+class PythonKernel(PeelKernel):
+    """Interpreted wave step over the flat eid-indexed state arrays."""
+
+    name = "python"
+
+    def pop_frontier(self, sup, alive, phi, hist, frontier, k) -> None:
+        for e in frontier:
+            e = int(e)
+            phi[e] = k
+            hist[int(sup[e])] -= 1
+            alive[e] = False
+
+    def gather_incident(self, tptr, tinc, edge_ids, tdead=None):
+        seen = set()
+        for e in edge_ids:
+            e = int(e)
+            for slot in range(int(tptr[e]), int(tptr[e + 1])):
+                t = int(tinc[slot])
+                if tdead is not None and tdead[t]:
+                    continue
+                seen.add(t)
+        return _out(sorted(seen))
+
+    def count_decrements(
+        self, e1, e2, e3, tris, alive, lo=None, hi=None, base=0
+    ):
+        counts = {}
+        for t in tris:
+            t = int(t)
+            for col in (e1, e2, e3):
+                p = int(col[t])
+                if lo is not None and not lo <= p < hi:
+                    continue
+                p -= base
+                if alive[p]:
+                    counts[p] = counts.get(p, 0) + 1
+        touched = sorted(counts)
+        return _out(touched), _out([counts[p] for p in touched])
+
+    def apply_decrements(self, sup, hist, touched, counts, k):
+        floor = k - 2
+        frontier = []
+        for i in range(len(touched)):
+            e = int(touched[i])
+            old = int(sup[e])
+            new = old - int(counts[i])
+            sup[e] = new
+            hist[old] -= 1
+            hist[new] += 1
+            if new <= floor:
+                frontier.append(e)
+        return _out(frontier)
+
+    def merge_decrements(self, buffers):
+        if len(buffers) == 1:
+            return buffers[0]
+        counts = {}
+        for ids, cnts in buffers:
+            for i in range(len(ids)):
+                e = int(ids[i])
+                counts[e] = counts.get(e, 0) + int(cnts[i])
+        touched = sorted(counts)
+        return _out(touched), _out([counts[e] for e in touched])

@@ -1,0 +1,192 @@
+"""The kernel registry's selection, gating and degradation contract."""
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core import truss_decomposition
+from repro.errors import DecompositionError
+from repro.graph import complete_graph
+from repro.kernels import (
+    KERNELS,
+    available_kernels,
+    get_kernel,
+    kernel_available,
+    resolve_kernel,
+)
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+
+class TestRegistry:
+    def test_python_backend_always_available(self):
+        assert kernel_available("python")
+        assert "python" in available_kernels()
+        assert get_kernel("python").name == "python"
+
+    @pytest.mark.skipif(np is None, reason="numpy not installed")
+    def test_numpy_backend_available_with_numpy(self):
+        assert kernel_available("numpy")
+        assert get_kernel("numpy").name == "numpy"
+
+    def test_auto_prefers_most_compiled_available(self):
+        order = ("numba", "numpy", "python")
+        expect = next(n for n in order if kernel_available(n))
+        assert resolve_kernel(None) == expect
+        assert resolve_kernel("auto") == expect
+        assert get_kernel().name == expect
+
+    def test_instances_are_cached_per_process(self):
+        assert get_kernel("python") is get_kernel("python")
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(DecompositionError, match="unknown kernel"):
+            resolve_kernel("cython")
+
+    def test_unavailable_named_backend_raises_specific_message(self):
+        if kernel_available("numba"):
+            pytest.skip("numba installed; unavailability not testable")
+        with pytest.raises(DecompositionError, match="numba"):
+            resolve_kernel("numba")
+
+    def test_registry_vocabulary(self):
+        assert KERNELS == ("python", "numpy", "numba")
+        assert set(available_kernels()) <= set(KERNELS)
+
+
+class TestApiGating:
+    """The ``kernel`` knob mirrors ``index_storage``'s method gate."""
+
+    @pytest.mark.parametrize(
+        "method", ["improved", "baseline", "bottomup", "topdown",
+                    "mapreduce"]
+    )
+    def test_kernel_rejected_off_csr_methods(self, method):
+        with pytest.raises(DecompositionError, match="kernel"):
+            truss_decomposition(
+                complete_graph(4), method=method, kernel="python"
+            )
+
+    @pytest.mark.skipif(np is None, reason="numpy not installed")
+    @pytest.mark.parametrize("method", ["flat", "parallel", "dist"])
+    def test_unknown_kernel_rejected_eagerly(self, method):
+        with pytest.raises(DecompositionError, match="unknown kernel"):
+            truss_decomposition(
+                complete_graph(4), method=method, kernel="bogus"
+            )
+
+    @pytest.mark.skipif(np is None, reason="numpy not installed")
+    def test_decompose_file_threads_kernel(self, tmp_path):
+        from repro.core import decompose_file
+        from repro.graph import write_edge_list
+
+        path = tmp_path / "g.txt"
+        write_edge_list(complete_graph(5), path)
+        td = decompose_file(path, method="flat", kernel="python")
+        assert td.stats.extra["kernel"] == "python"
+        assert td.kmax == 5
+
+    def test_missing_numba_degrades_not_crashes(self):
+        """``kernel="auto"`` never fails, with or without numba."""
+        td = truss_decomposition(
+            complete_graph(4), method="flat", kernel="auto"
+        )
+        assert td.kmax == 4
+
+
+class TestCliGating:
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        from repro.graph import write_edge_list
+
+        path = tmp_path / "g.txt"
+        write_edge_list(complete_graph(5), path)
+        return path
+
+    def test_kernel_rejected_off_csr_methods(self, graph_file, capsys):
+        from repro.cli import main
+
+        assert main([
+            "decompose", str(graph_file), "--method", "improved",
+            "--kernel", "numpy",
+        ]) == 2
+        assert "--kernel only applies" in capsys.readouterr().err
+
+    @pytest.mark.skipif(np is None, reason="numpy not installed")
+    @pytest.mark.parametrize("kernel", ["auto", "python", "numpy"])
+    def test_kernel_flag_matches_flat_default(
+        self, graph_file, tmp_path, kernel
+    ):
+        from repro.cli import main
+
+        out = tmp_path / "phi.txt"
+        assert main([
+            "decompose", str(graph_file), "-o", str(out),
+            "--method", "flat", "--kernel", kernel,
+        ]) == 0
+        reference = tmp_path / "ref.txt"
+        assert main([
+            "decompose", str(graph_file), "-o", str(reference),
+            "--method", "flat",
+        ]) == 0
+        assert out.read_text() == reference.read_text()
+
+
+class TestNumbaAbsentImportGuard:
+    """The package must import and decompose with numba truly absent.
+
+    Run in a subprocess whose meta path blocks ``numba`` imports, so
+    the guard holds even on environments (the tier-2 CI leg) where
+    numba *is* installed.
+    """
+
+    def test_import_and_decompose_without_numba(self):
+        src_root = Path(repro.__file__).resolve().parent.parent
+        code = textwrap.dedent(
+            """
+            import sys
+
+            class _BlockNumba:
+                def find_spec(self, name, path=None, target=None):
+                    if name == "numba" or name.startswith("numba."):
+                        raise ImportError("numba blocked for this test")
+                    return None
+
+            sys.meta_path.insert(0, _BlockNumba())
+
+            from repro.core import truss_decomposition
+            from repro.graph import complete_graph
+            from repro.kernels import available_kernels, resolve_kernel
+
+            kernels = available_kernels()
+            assert "numba" not in kernels, kernels
+            assert "python" in kernels, kernels
+            assert resolve_kernel("auto") != "numba"
+            td = truss_decomposition(
+                complete_graph(5), method="flat", kernel="auto"
+            )
+            assert td.kmax == 5, td.kmax
+            print("guard-ok")
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src_root) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "guard-ok" in proc.stdout

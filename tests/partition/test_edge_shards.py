@@ -212,12 +212,11 @@ class TestRoutedDecrementParity:
     @pytest.mark.parametrize("seed", [5, 23, 61])
     @pytest.mark.parametrize("n_shards", [1, 2, 5])
     def test_one_wave_routed_equals_serial(self, seed, n_shards):
-        from repro.core.flat import (
-            _as_csr,
-            _collect_hits_arrays,
-            _count_decrements_arrays,
-        )
+        from repro.core.flat import _as_csr
+        from repro.kernels import get_kernel
         from repro.triangles.index_builder import build_triangle_index
+
+        kern = get_kernel("numpy")
 
         g = random_graph(30, 0.25, seed=seed)
         csr = _as_csr(g)
@@ -236,11 +235,11 @@ class TestRoutedDecrementParity:
         alive = np.ones(m, dtype=bool)
         alive[frontier] = False
         tdead = np.zeros(len(e1), dtype=bool)
-        hit = _collect_hits_arrays(tptr, tinc, tdead, frontier)
+        hit = kern.gather_incident(tptr, tinc, frontier, tdead)
         tdead[hit] = True
 
         # serial: one global decrement buffer
-        touched, dec = _count_decrements_arrays(e1, e2, e3, alive, hit)
+        touched, dec = kern.count_decrements(e1, e2, e3, hit, alive)
         serial = np.zeros(m, dtype=np.int64)
         serial[touched] = dec
 
