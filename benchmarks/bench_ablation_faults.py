@@ -1,0 +1,92 @@
+"""Ablation: survivability — checkpoint overhead and crash recovery.
+
+The survivable-peeling PR's claims, measured and machine-recorded:
+
+* wave checkpointing is cheap insurance: the fractional wall-time
+  overhead of snapshot barriers vs the same run with snapshots off is
+  reported per interval (4, 8, 16 waves) and *asserted bounded* at the
+  default interval — the knob must be safe to leave on;
+* recovery works and is worth it: a scripted mid-run rank kill under
+  ``on_failure="retry"`` completes bit-identically to the flat engine
+  (asserted inside ``fault_recovery_rows``), and the end-to-end wall
+  time of the crashed-and-recovered run — respawn, rewind, resume —
+  is recorded next to the clean run's;
+* the rewind is real on long runs: the resumed epoch is recorded so
+  the JSON shows whether the mesh restarted from scratch (``-1``) or
+  picked up a passed barrier.
+
+``BENCH_faults.json`` (path overridable via ``REPRO_BENCH_FAULTS_JSON``)
+is the machine-readable artifact CI's chaos job uploads next to
+``BENCH_dist.json``.
+
+Run explicitly (the tier-1 suite collects only tests/)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_ablation_faults.py -s
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.bench.harness import fault_recovery_rows, print_table
+from repro.datasets import MASSIVE_DATASETS
+
+INTERVALS = (4, 8, 16)
+
+#: overhead ceiling asserted at the default barrier interval — generous
+#: because CI hosts are noisy, but tight enough that an accidentally
+#: quadratic snapshot (or one taken every wave) fails loudly
+MAX_DEFAULT_OVERHEAD = 0.5
+
+
+def _json_path() -> Path:
+    return Path(
+        os.environ.get("REPRO_BENCH_FAULTS_JSON", "BENCH_faults.json")
+    )
+
+
+def test_fault_ablation(scale):
+    """The checkpoint/recovery sweep, recorded as BENCH_faults.json."""
+    rows = fault_recovery_rows(
+        scale=scale,
+        names=MASSIVE_DATASETS,
+        intervals=INTERVALS,
+        ranks=2,
+        repeats=2,
+    )
+    print_table(
+        "faults",
+        rows,
+        "Ablation: checkpoint overhead and crash recovery (dist, 2 ranks)",
+    )
+    doc = {
+        "suite": "bench_ablation_faults",
+        "scale": scale,
+        "intervals": list(INTERVALS),
+        "max_default_overhead": MAX_DEFAULT_OVERHEAD,
+        "datasets": rows,
+        "overhead_by_interval": {
+            f"ckpt@{i}": max(row[f"ckpt@{i} ovh"] for row in rows)
+            for i in INTERVALS
+        },
+        "recovery_seconds": {
+            row["dataset"]: row["recovery (s)"] for row in rows
+        },
+    }
+    path = _json_path()
+    path.write_text(json.dumps(doc, indent=2, default=float) + "\n")
+    print(
+        f"\nwrote {path} (worst default-interval overhead: "
+        f"{doc['overhead_by_interval']['ckpt@8']:+.1%})"
+    )
+
+    # the acceptance contract: snapshots at the default interval stay
+    # cheap, every recovery run actually recovered (asserted row-side),
+    # and the columns the JSON promises are all present
+    for row in rows:
+        assert row["recovery (s)"] is not None, row["dataset"]
+        for interval in INTERVALS:
+            assert row[f"ckpt@{interval} (s)"] is not None
+        assert row["ckpt@8 ovh"] < MAX_DEFAULT_OVERHEAD, (
+            row["dataset"], row["ckpt@8 ovh"],
+        )

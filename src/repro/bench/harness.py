@@ -451,6 +451,90 @@ def dist_transport_rows(
 
 
 # ---------------------------------------------------------------------------
+# Ablation — survivability: checkpoint overhead and crash recovery
+# ---------------------------------------------------------------------------
+def fault_recovery_rows(
+    scale: float = 1.0,
+    names: Optional[Sequence[str]] = None,
+    intervals: Sequence[int] = (4, 8, 16),
+    ranks: int = 2,
+    repeats: int = 2,
+    kill_round: int = 8,
+) -> List[Dict]:
+    """Checkpoint cost and crash-recovery time for ``method="dist"``.
+
+    Three measurements per dataset, all parity-checked against the
+    flat engine before any time is reported:
+
+    * ``ckpt off (s)`` — the recovering supervisor with snapshots
+      disabled (``checkpoint_interval=0``), the overhead baseline;
+    * ``ckpt@I …`` — wall time, snapshot count and fractional overhead
+      vs that baseline at each barrier interval ``I`` (smaller
+      interval = more barriers = more insurance and more cost);
+    * ``recovery …`` — a scripted mid-run crash under
+      ``on_failure="retry"``: end-to-end wall time including the
+      respawn and the rewind, plus the epoch the mesh resumed from
+      (``-1`` means no barrier had passed yet and it restarted).  The
+      kill round is ``max(kill_round, waves)`` — roughly mid-peel,
+      since a rank sends about three frames per wave — so runs long
+      enough to have passed a barrier demonstrate a real rewind.
+    """
+    from repro.dist.faults import FaultPlan
+
+    rows = []
+    for name in names or MASSIVE_DATASETS:
+        g = load_dataset(name, scale=scale)
+        ref = measure(
+            lambda: truss_decomposition_flat(g), track_memory=False
+        )
+        row: Dict = {
+            "dataset": name,
+            "|E|": g.num_edges,
+            "kmax": ref.result.kmax,
+            "flat (s)": ref.seconds,
+            "ranks": ranks,
+        }
+
+        def best_of(**kwargs) -> Tuple[float, Dict]:
+            seconds, extra = None, {}
+            for _ in range(max(1, repeats)):
+                run = measure(
+                    lambda: truss_decomposition_dist(
+                        g, ranks=ranks, on_failure="retry", **kwargs
+                    ),
+                    track_memory=False,
+                )
+                assert run.result == ref.result, (name, kwargs)
+                extra = run.result.stats.extra
+                seconds = (
+                    run.seconds
+                    if seconds is None
+                    else min(seconds, run.seconds)
+                )
+            return seconds, extra
+
+        base, extra = best_of(checkpoint_interval=0)
+        row["ckpt off (s)"] = base
+        row["waves"] = extra.get("waves", 0)
+        for interval in intervals:
+            seconds, extra = best_of(checkpoint_interval=interval)
+            row[f"ckpt@{interval} (s)"] = seconds
+            row[f"ckpt@{interval} snaps"] = extra.get("checkpoints", 0)
+            row[f"ckpt@{interval} ovh"] = seconds / max(base, 1e-9) - 1
+        seconds, extra = best_of(
+            checkpoint_interval=intervals[len(intervals) // 2],
+            fault_plan=FaultPlan.kill(
+                1, round=max(kill_round, int(row["waves"]))
+            ),
+        )
+        assert extra.get("retries") == 1, (name, extra)
+        row["recovery (s)"] = seconds
+        row["resumed epoch"] = extra.get("resumed_from_epoch", -1)
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Ablation — dict-free streaming ingest vs the Graph round trip
 # ---------------------------------------------------------------------------
 def ingest_fastpath_rows(

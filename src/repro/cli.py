@@ -18,8 +18,12 @@ build) and handed to the flat, parallel or distributed engine;
 ``--shards dynamic|static`` picks between the per-wave frontier split
 and the static owner-computes edge-id shards.  For ``--method dist``,
 ``--ranks N`` sets the rank count (one owned static edge shard per
-rank) and ``--transport loopback|tcp`` picks the message fabric —
-in-process queues or rank processes over framed localhost sockets.
+rank), ``--transport loopback|tcp`` picks the message fabric —
+in-process queues or rank processes over framed localhost sockets —
+``--timeout SECONDS`` bounds every blocking transport step, and
+``--on-failure raise|retry|fallback_flat`` picks the supervisor's
+policy when a rank dies mid-run (respawn + checkpoint rewind, or
+degrade to the flat engine).
 ``--index-storage ram|mmap`` selects where the streamed triangle-index
 builder puts the O(|△G|) incidence index (default: auto by size;
 ``mmap`` holds driver memory at O(m) however many triangles), and
@@ -68,6 +72,8 @@ def cmd_decompose(args: argparse.Namespace) -> int:
         ("--shards", args.shards, "parallel"),
         ("--ranks", args.ranks, "dist"),
         ("--transport", args.transport, "dist"),
+        ("--timeout", args.timeout, "dist"),
+        ("--on-failure", args.on_failure, "dist"),
     ):
         if value is not None and args.method != owner:
             print(
@@ -113,6 +119,7 @@ def cmd_decompose(args: argparse.Namespace) -> int:
         td = truss_decomposition(
             csr, method=args.method, jobs=args.jobs, shards=args.shards,
             ranks=args.ranks, transport=args.transport,
+            timeout=args.timeout, on_failure=args.on_failure,
             index_storage=args.index_storage, kernel=args.kernel,
         )
         elapsed = time.perf_counter() - start
@@ -261,6 +268,30 @@ def build_parser() -> argparse.ArgumentParser:
             "ranks as in-process queue-connected threads, 'tcp' as "
             "processes meshed over length-prefixed localhost sockets "
             "(default: loopback)"
+        ),
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "deadline for any single blocking transport step under "
+            "--method dist — socket/queue receives, mesh dial, the "
+            "driver's gather loops (default: the built-in 120s, "
+            "overridable via REPRO_DIST_TIMEOUT)"
+        ),
+    )
+    p.add_argument(
+        "--on-failure",
+        default=None,
+        choices=["raise", "retry", "fallback_flat"],
+        help=(
+            "supervisor policy for --method dist when a rank dies "
+            "mid-run: 'raise' fails fast, 'retry' respawns the mesh "
+            "and rewinds to the newest common checkpoint barrier "
+            "(bounded retries), 'fallback_flat' retries then degrades "
+            "to the in-process flat engine (default: raise)"
         ),
     )
     p.add_argument(

@@ -90,6 +90,8 @@ def truss_decomposition(
     shards: Optional[str] = None,
     ranks: Optional[int] = None,
     transport: Optional[str] = None,
+    timeout: Optional[float] = None,
+    on_failure: Optional[str] = None,
     index_storage: Optional[str] = None,
     kernel: Optional[str] = None,
 ) -> TrussDecomposition:
@@ -117,6 +119,16 @@ def truss_decomposition(
         transport: with ``method='dist'``, the message fabric:
             ``"loopback"`` (default, in-process queues) or ``"tcp"``
             (rank processes over framed localhost sockets).
+        timeout: with ``method='dist'``, the deadline in seconds for
+            any single blocking transport step (socket/queue receives,
+            mesh dial, the driver's gather loops); ``None`` uses the
+            built-in default.
+        on_failure: with ``method='dist'``, the supervisor's policy
+            when a rank dies mid-run — ``"raise"`` (default, fail
+            fast), ``"retry"`` (respawn the mesh and rewind to the
+            newest common checkpoint barrier, bounded by a retry
+            budget) or ``"fallback_flat"`` (retry, then degrade to the
+            in-process flat engine instead of raising).
         index_storage: for the CSR methods (:data:`CSR_METHODS`), the
             triangle index's destination — ``"ram"`` or ``"mmap"``
             (streamed to disk through the counting builder and mapped
@@ -136,6 +148,8 @@ def truss_decomposition(
         ("shards", shards, "parallel"),
         ("ranks", ranks, "dist"),
         ("transport", transport, "dist"),
+        ("timeout", timeout, "dist"),
+        ("on_failure", on_failure, "dist"),
     )
     bad = [
         name for name, value, owner in gated
@@ -171,8 +185,9 @@ def truss_decomposition(
     if method == "dist":
         _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
         return truss_decomposition_dist(
-            g, ranks=ranks, transport=transport,
-            index_storage=index_storage, kernel=kernel,
+            g, ranks=ranks, transport=transport, timeout=timeout,
+            on_failure=on_failure, index_storage=index_storage,
+            kernel=kernel,
         )
     if method == "baseline":
         _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
@@ -228,6 +243,8 @@ def decompose_file(
     shards: Optional[str] = None,
     ranks: Optional[int] = None,
     transport: Optional[str] = None,
+    timeout: Optional[float] = None,
+    on_failure: Optional[str] = None,
     index_storage: Optional[str] = None,
     kernel: Optional[str] = None,
     **kwargs,
@@ -246,14 +263,16 @@ def decompose_file(
         csr = CSRGraph.from_edge_list_file(path)
         return truss_decomposition(
             csr, method=method, jobs=jobs, shards=shards, ranks=ranks,
-            transport=transport, index_storage=index_storage,
+            transport=transport, timeout=timeout,
+            on_failure=on_failure, index_storage=index_storage,
             kernel=kernel, **kwargs
         )
     from repro.graph.io import read_edge_list
 
     return truss_decomposition(
         read_edge_list(path), method=method, jobs=jobs, shards=shards,
-        ranks=ranks, transport=transport, index_storage=index_storage,
+        ranks=ranks, transport=transport, timeout=timeout,
+        on_failure=on_failure, index_storage=index_storage,
         kernel=kernel, **kwargs
     )
 

@@ -22,16 +22,30 @@ Two launch modes, selected by ``transport``:
   pipe, results and failures come back the same way, and a rank death
   (crash, kill, lost connection) cascades through the mesh and
   surfaces here as a :class:`~repro.dist.transport.DistError` with
-  every process reaped and the index tempdir removed.
+  every process reaped and the scratch directory removed.
+
+Survivability — the driver is also a *supervisor*.  When checkpointing
+is on, every rank snapshots its shard-local state at level barriers
+(:mod:`repro.dist.checkpoint`); on a rank death the whole mesh is
+respawned and rewound to the newest barrier every rank can agree on,
+bounded by a retry budget.  The ``on_failure`` knob picks the policy —
+``"raise"`` (fail fast, the default), ``"retry"`` (respawn + rewind up
+to ``max_retries`` times, then raise), or ``"fallback_flat"`` (like
+``"retry"``, but a run that exhausts its budget degrades to the
+in-process flat engine instead of raising).  Failures themselves are
+scriptable through :class:`~repro.dist.faults.FaultPlan`, so every
+recovery path is a reproducible fixture rather than a race.
 
 Both modes produce the identical trussness map as ``method="flat"``
-at every rank count — the acceptance bar the cross-method parity suite
-and ``benchmarks/bench_ablation_dist_transport.py`` pin down.
+at every rank count — with or without injected faults along the way —
+the acceptance bar the cross-method parity suite, the fault-schedule
+sweep and ``benchmarks/bench_ablation_dist_transport.py`` pin down.
 """
 
 from __future__ import annotations
 
 import os
+import shutil
 import tempfile
 import threading
 import time
@@ -47,6 +61,8 @@ from repro.core.flat import (
     resolve_index_storage,
     result_from_phi,
 )
+from repro.dist.checkpoint import latest_common_epoch
+from repro.dist.faults import FaultInjectingTransport, FaultPlan
 from repro.dist.rank import Rank, TriangleIndex
 from repro.triangles.index_builder import build_triangle_index
 from repro.dist.transport import (
@@ -73,6 +89,16 @@ except ImportError:  # pragma: no cover - CPython always ships it
 
 #: the message fabrics of the distributed peel
 TRANSPORTS = ("loopback", "tcp")
+
+#: the supervisor's failure policies
+ON_FAILURE = ("raise", "retry", "fallback_flat")
+
+#: respawn/rewind attempts before a recovering policy gives up
+DEFAULT_MAX_RETRIES = 2
+
+#: waves between checkpoint barriers when a recovering policy is on
+#: (``on_failure="raise"`` defaults to 0 — no snapshots, no overhead)
+DEFAULT_CHECKPOINT_INTERVAL = 8
 
 #: below this edge count, ``ranks=None`` resolves to a single rank —
 #: the per-wave exchange rounds dominate any fan-out win on small graphs
@@ -103,6 +129,42 @@ def _resolve_ranks(ranks: Optional[int], m: int) -> int:
     return os.cpu_count() or 1
 
 
+def _resolve_on_failure(on_failure: Optional[str]) -> str:
+    if on_failure is None:
+        return "raise"
+    if on_failure not in ON_FAILURE:
+        raise DecompositionError(
+            f"unknown on_failure {on_failure!r}; expected one of "
+            f"{ON_FAILURE}"
+        )
+    return on_failure
+
+
+def _resolve_timeout(timeout: Optional[float]) -> float:
+    if timeout is None:
+        return DEFAULT_TIMEOUT
+    timeout = float(timeout)
+    if timeout <= 0:
+        raise DecompositionError(
+            f"timeout must be positive, got {timeout}"
+        )
+    return timeout
+
+
+def _resolve_checkpoint_interval(
+    interval: Optional[int], on_failure: str
+) -> int:
+    if interval is None:
+        # fail-fast runs never rewind, so they skip the snapshot cost
+        return DEFAULT_CHECKPOINT_INTERVAL if on_failure != "raise" else 0
+    interval = int(interval)
+    if interval < 0:
+        raise DecompositionError(
+            f"checkpoint_interval must be >= 0, got {interval}"
+        )
+    return interval
+
+
 # ---------------------------------------------------------------------------
 # loopback launcher: ranks as fabric-connected threads
 # ---------------------------------------------------------------------------
@@ -110,23 +172,28 @@ def _run_loopback(
     nranks: int,
     index_dir: str,
     bounds: List[int],
-    kill_rank: Optional[int],
     kernel: Optional[str] = None,
+    timeout: float = DEFAULT_TIMEOUT,
+    ckpt_dir: Optional[str] = None,
+    ckpt_interval: int = 0,
+    resume_epoch: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
 ):
     fabric = LoopbackFabric(nranks)
     results: List = [None] * nranks
     failures: List = [None] * nranks
 
     def rank_body(r: int) -> None:
-        tp = fabric.endpoint(r)
+        tp = fabric.endpoint(r, timeout=timeout)
+        if faults:
+            tp = FaultInjectingTransport(tp, faults.for_rank(r))
         try:
-            if kill_rank == r:
-                raise RuntimeError(
-                    f"rank {r} killed by fault injection"
-                )
             tri = TriangleIndex.open(index_dir)
             results[r] = Rank(
-                r, nranks, tp, bounds, tri, kernel=kernel
+                r, nranks, tp, bounds, tri, kernel=kernel,
+                checkpoint_dir=ckpt_dir,
+                checkpoint_interval=ckpt_interval,
+                resume_epoch=resume_epoch,
             ).run()
         except BaseException as exc:
             failures[r] = exc
@@ -140,8 +207,17 @@ def _run_loopback(
     ]
     for t in threads:
         t.start()
-    for t in threads:
-        t.join()
+    try:
+        for t in threads:
+            t.join()
+    except BaseException:
+        # KeyboardInterrupt (or any driver-side failure) mid-join:
+        # poison every channel so blocked ranks unwind now instead of
+        # running out their timeout against a driver that already left
+        fabric.poison_all()
+        for t in threads:
+            t.join(timeout=5)
+        raise
     _raise_primary_failure(failures)
     return _assemble(results, bounds)
 
@@ -186,16 +262,22 @@ def _tcp_rank_main(
     conn,
     index_dir: str,
     bounds: List[int],
-    kill_rank: Optional[int],
     timeout: float,
     kernel: Optional[str] = None,
+    ckpt_dir: Optional[str] = None,
+    ckpt_interval: int = 0,
+    resume_epoch: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> None:
     """Rank-process entry: handshake, peel, report — or die loudly.
 
     Any failure is reported over the control pipe (best effort) and
     turned into a nonzero exit; the process never lingers blocking the
     mesh, and a hard kill is survivable driver-side because peers fail
-    on the closed sockets and the driver watches exit codes.
+    on the closed sockets and the driver watches exit codes.  Scripted
+    ``crash`` faults exit abruptly (``os._exit``) — a vanished peer,
+    not a clean goodbye — so recovery is proven against the real
+    failure shape.
     """
     tp = None
     try:
@@ -205,11 +287,18 @@ def _tcp_rank_main(
         tp = TcpTransport.connect_mesh(
             rank, nranks, ports, listener, timeout=timeout
         )
-        if kill_rank == rank:
-            os._exit(42)  # fault injection: vanish mid-protocol
+        if faults:
+            tp = FaultInjectingTransport(
+                tp,
+                faults.for_rank(rank),
+                crash=lambda _fault: os._exit(42),
+            )
         tri = TriangleIndex.open(index_dir)
         phi, k, st = Rank(
-            rank, nranks, tp, bounds, tri, kernel=kernel
+            rank, nranks, tp, bounds, tri, kernel=kernel,
+            checkpoint_dir=ckpt_dir,
+            checkpoint_interval=ckpt_interval,
+            resume_epoch=resume_epoch,
         ).run()
         conn.send(("ok", rank, phi.tobytes(), k, st))
     except BaseException as exc:
@@ -276,9 +365,12 @@ def _run_tcp(
     nranks: int,
     index_dir: str,
     bounds: List[int],
-    kill_rank: Optional[int],
-    timeout: float = DEFAULT_TIMEOUT,
     kernel: Optional[str] = None,
+    timeout: float = DEFAULT_TIMEOUT,
+    ckpt_dir: Optional[str] = None,
+    ckpt_interval: int = 0,
+    resume_epoch: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
 ):
     ctx = _mp.get_context()
     procs: List = []
@@ -288,9 +380,13 @@ def _run_tcp(
             parent, child = ctx.Pipe()
             p = ctx.Process(
                 target=_tcp_rank_main,
-                args=(
-                    r, nranks, child, index_dir, bounds, kill_rank,
-                    timeout, kernel,
+                args=(r, nranks, child, index_dir, bounds, timeout),
+                kwargs=dict(
+                    kernel=kernel,
+                    ckpt_dir=ckpt_dir,
+                    ckpt_interval=ckpt_interval,
+                    resume_epoch=resume_epoch,
+                    faults=faults,
                 ),
                 daemon=True,
             )
@@ -321,7 +417,8 @@ def _run_tcp(
         return _assemble(results, bounds)
     finally:
         # reap every rank process, alive or not — no zombies, no
-        # orphans, whatever path got us here
+        # orphans, whatever path got us here (including a driver-side
+        # KeyboardInterrupt mid-gather)
         for p in procs:
             if p.is_alive():
                 p.terminate()
@@ -336,6 +433,64 @@ def _run_tcp(
 
 
 # ---------------------------------------------------------------------------
+# the supervisor: launch attempts, rewind to checkpoints, degrade
+# ---------------------------------------------------------------------------
+def _supervise(
+    mode: str,
+    nranks: int,
+    index_dir: str,
+    ckpt_dir: str,
+    bounds: List[int],
+    kernel: Optional[str],
+    timeout: float,
+    on_failure: str,
+    max_retries: int,
+    ckpt_interval: int,
+    fault_plan: Optional[FaultPlan],
+    stats: DecompositionStats,
+):
+    """Run launch attempts until one completes or the policy gives up.
+
+    Returns ``(phi, k, rank_stats)`` on success, or ``None`` when the
+    policy is ``"fallback_flat"`` and the retry budget is exhausted —
+    the caller then degrades to the flat engine.  Every failed attempt
+    rewinds the next one to :func:`latest_common_epoch`, so completed
+    waves are never recomputed once a barrier has them.
+    """
+    run = _run_tcp if mode == "tcp" else _run_loopback
+    budget = max_retries if on_failure != "raise" else 0
+    attempt = 0
+    resume_epoch: Optional[int] = None
+    while True:
+        faults = (
+            fault_plan.for_attempt(attempt) if fault_plan else None
+        )
+        try:
+            out = run(
+                nranks, index_dir, bounds, kernel=kernel,
+                timeout=timeout, ckpt_dir=ckpt_dir,
+                ckpt_interval=ckpt_interval,
+                resume_epoch=resume_epoch, faults=faults,
+            )
+            stats.record("retries", attempt)
+            stats.record(
+                "resumed_from_epoch",
+                resume_epoch if resume_epoch is not None else -1,
+            )
+            return out
+        except DistError:
+            if attempt >= budget:
+                if on_failure == "fallback_flat":
+                    stats.record("retries", attempt)
+                    return None
+                raise
+            attempt += 1
+            # rewind target: the newest barrier with a complete, valid
+            # snapshot from every rank; None restarts from scratch
+            resume_epoch = latest_common_epoch(ckpt_dir, nranks)
+
+
+# ---------------------------------------------------------------------------
 # the public entry point
 # ---------------------------------------------------------------------------
 def truss_decomposition_dist(
@@ -345,7 +500,11 @@ def truss_decomposition_dist(
     index_storage: Optional[str] = None,
     kernel: Optional[str] = None,
     *,
-    _kill_rank: Optional[int] = None,
+    timeout: Optional[float] = None,
+    on_failure: Optional[str] = None,
+    max_retries: Optional[int] = None,
+    checkpoint_interval: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> TrussDecomposition:
     """Truss-decompose ``g`` with the rank-distributed wave peel.
 
@@ -369,14 +528,31 @@ def truss_decomposition_dist(
         kernel: the wave-step backend (``"auto"``/``"python"``/
             ``"numpy"``/``"numba"``; ``None``: auto), resolved by the
             driver and pinned on every rank.
-        _kill_rank: fault-injection hook for the tests — the named
-            rank dies mid-protocol (``os._exit`` under tcp, an
-            exception under loopback) and the driver must surface a
-            clean :class:`~repro.dist.transport.DistError`.
+        timeout: deadline in seconds for any single blocking step on
+            either transport (socket/queue receives, mesh dial, the
+            driver's port/result gathering).  ``None`` uses
+            :data:`~repro.dist.transport.DEFAULT_TIMEOUT`.
+        on_failure: the supervisor policy when a rank dies or the mesh
+            wedges — ``"raise"`` (default: fail fast), ``"retry"``
+            (respawn all ranks, rewind to the newest common checkpoint
+            barrier, up to ``max_retries`` times, then raise) or
+            ``"fallback_flat"`` (retry the same way, but degrade to
+            the in-process flat engine instead of raising when the
+            budget runs out — the answer still arrives).
+        max_retries: respawn attempts for the recovering policies
+            (``None``: :data:`DEFAULT_MAX_RETRIES`).
+        checkpoint_interval: waves between checkpoint barriers; ``0``
+            disables snapshots.  ``None`` resolves to
+            :data:`DEFAULT_CHECKPOINT_INTERVAL` under a recovering
+            policy and ``0`` under ``"raise"``.
+        fault_plan: a :class:`~repro.dist.faults.FaultPlan` of scripted
+            crash/drop/delay/duplicate faults — the reproducible chaos
+            harness the recovery tests and benchmarks drive; ``None``
+            injects nothing.
 
     Returns the identical trussness map as ``method="flat"`` — neither
-    the rank count, the transport nor the index storage changes the
-    wave schedule.
+    the rank count, the transport, the index storage nor any survived
+    fault schedule changes the wave schedule.
     """
     mode = _resolve_transport(transport)
     # ranks always read the index from disk; "auto" therefore means
@@ -385,6 +561,17 @@ def truss_decomposition_dist(
     if storage == "auto":
         storage = "mmap"
     kname = resolve_kernel(kernel)
+    policy = _resolve_on_failure(on_failure)
+    deadline = _resolve_timeout(timeout)
+    interval = _resolve_checkpoint_interval(checkpoint_interval, policy)
+    if max_retries is None:
+        retries = DEFAULT_MAX_RETRIES
+    else:
+        retries = int(max_retries)
+        if retries < 0:
+            raise DecompositionError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
     csr = _as_csr(g)
     m = csr.num_edges
     stats = DecompositionStats(method="dist")
@@ -401,16 +588,31 @@ def truss_decomposition_dist(
     stats.record("ranks", nranks)
     stats.record("index_storage", storage)
     stats.record("kernel", kname)
+    stats.record("on_failure", policy)
+    stats.record("checkpoint_interval", interval)
     if not m:
         return result_from_phi(csr, array("q"), 2, stats)
-    with tempfile.TemporaryDirectory(prefix="repro-dist-") as tmp:
+    # scratch layout: <tmp>/index (the mmapped triangle index) and
+    # <tmp>/ckpt (the wave checkpoints).  mkdtemp + finally instead of
+    # the TemporaryDirectory context manager so removal is guaranteed
+    # best-effort on *any* unwind — KeyboardInterrupt included, even
+    # if a just-reaped rank leaves a half-written snapshot behind.
+    tmp = tempfile.mkdtemp(prefix="repro-dist-")
+    try:
+        index_dir = os.path.join(tmp, "index")
+        ckpt_dir = os.path.join(tmp, "ckpt")
+        os.mkdir(index_dir)
+        os.mkdir(ckpt_dir)
         if storage == "ram":
             tri = build_triangle_index(csr)
             TriangleIndex.write(
-                Path(tmp), tri.e1, tri.e2, tri.e3, tri.tptr, tri.tinc
+                Path(index_dir), tri.e1, tri.e2, tri.e3, tri.tptr,
+                tri.tinc,
             )
         else:
-            tri = build_triangle_index(csr, storage="mmap", dirpath=tmp)
+            tri = build_triangle_index(
+                csr, storage="mmap", dirpath=index_dir
+            )
         n_tri = tri.num_triangles
         # shard weights need only the O(m) incidence runs, so the
         # driver's peel-time state is O(m) however large |△G| gets
@@ -419,17 +621,29 @@ def truss_decomposition_dist(
         # the ranks mmap the files; drop the driver's handles so no
         # single process keeps holding the whole index
         del tri
-        if mode == "tcp":
-            phi, k, rank_stats = _run_tcp(
-                nranks, tmp, bounds, _kill_rank, kernel=kname
-            )
-        else:
-            phi, k, rank_stats = _run_loopback(
-                nranks, tmp, bounds, _kill_rank, kernel=kname
-            )
+        out = _supervise(
+            mode, nranks, index_dir, ckpt_dir, bounds, kname,
+            deadline, policy, retries, interval, fault_plan, stats,
+        )
+        if out is None:
+            # fallback_flat: the budget ran out; answer locally.  The
+            # flat engine shares the kernel layer, so the map is the
+            # same bits the mesh would have produced.
+            from repro.core.flat import truss_decomposition_flat
+
+            td = truss_decomposition_flat(csr, kernel=kname)
+            for key, value in stats.extra.items():
+                td.stats.record(key, value)
+            td.stats.record("fallback", "flat")
+            td.stats.record("retries_exhausted", retries)
+            return td
+        phi, k, rank_stats = out
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
     # the schedule is identical on every rank; rank 0 speaks for it
     head = rank_stats[0]
-    for key in ("waves", "levels", "max_wave", "exchange_rounds"):
+    for key in ("waves", "levels", "max_wave", "exchange_rounds",
+                "checkpoints"):
         stats.record(key, head[key])
     msg_bytes = sum(st["msg_bytes"] for st in rank_stats)
     stats.record("msg_bytes", msg_bytes)

@@ -59,9 +59,74 @@ most once — the distributed replacement for the coordinator's global
 wave schedule matches :func:`repro.core.flat.run_wave_peel` decision
 for decision, and the assembled trussness map is bit-identical to
 ``method="flat"`` at every rank count on both transports.
+
+Failure model
+-------------
+A rank can die at any instant — a crash, a kill, a reset socket — and
+a channel can lose, delay or duplicate a frame.  The design turns
+every one of those into a *detected, attributable* failure rather
+than a hang or silent corruption:
+
+* a dead TCP rank closes its sockets, so peers fail fast on EOF/reset
+  and the failure cascades; a dying loopback rank calls ``abort()``,
+  posting a poison frame to every peer queue;
+* every blocking step (recv, mesh dial/accept, the driver's gather
+  loops) carries the run's ``timeout``, so a wedged mesh surfaces as
+  an error, never an eternal wait;
+* mesh dials retry with jittered exponential backoff, so a startup
+  race (accept-backlog overflow, a slow-booting peer) is a pause, not
+  a fatality;
+* under fault injection (:mod:`repro.dist.faults`) every frame also
+  carries a per-channel sequence number: a duplicated frame replays
+  stale and is discarded, a dropped frame leaves a gap the receiver's
+  next frame exposes immediately.
+
+Checkpoint manifest format
+--------------------------
+At level barriers every ``checkpoint_interval`` waves, each rank
+snapshots its shard-local state (:mod:`repro.dist.checkpoint`) under
+``<ckpt>/epoch_<NNNNNNNN>/rank_<r>/``: one ``.npy`` file per array —
+``sup``/``alive``/``phi``/``hist``/``owned_dead``, the same layout the
+triangle index uses — then a ``manifest.json`` written via temp file +
+fsync + ``os.replace``.  The manifest carries ``format``, ``epoch``
+(the completed-level count at the barrier; identical on every rank by
+schedule determinism), ``rank``, a CRC32 + byte length + dtype per
+array, and the scalar loop state (``floor``, ``k``, ``remaining``,
+``waves``, ``levels``, ``max_wave``, ``exchange_rounds``).  A snapshot
+without a complete, checksum-clean manifest does not exist to the
+recovery protocol, so a torn write is never restored.  Each rank keeps
+its two newest epochs and prunes the rest, bounding disk.
+
+Recovery protocol and ``on_failure``
+------------------------------------
+The driver (:mod:`repro.core.dist`) supervises launch attempts.  On a
+failed attempt every surviving rank has already unwound (the cascade
+guarantees it) and is reaped; the supervisor then picks
+:func:`~repro.dist.checkpoint.latest_common_epoch` — the newest
+barrier at which *all* ranks hold valid manifests — respawns the
+whole mesh with ``resume_epoch`` set, and the ranks reload their
+slices and re-enter the wave loop at that barrier.  The schedule is
+deterministic, so a recovered run's output is byte-identical to an
+unfaulted one.  Policies: ``on_failure="raise"`` fails fast (no
+snapshots, no overhead); ``"retry"`` respawns/rewinds up to
+``max_retries`` times, then raises; ``"fallback_flat"`` retries the
+same way but degrades to the in-process flat engine instead of
+raising when the budget is exhausted.
 """
 
+from repro.dist.checkpoint import (
+    CheckpointError,
+    latest_common_epoch,
+    load_rank_checkpoint,
+    write_rank_checkpoint,
+)
 from repro.dist.exchange import allgather, alltoallv
+from repro.dist.faults import (
+    Fault,
+    FaultInjectingTransport,
+    FaultPlan,
+    InjectedCrash,
+)
 from repro.dist.rank import Rank, TriangleIndex
 from repro.dist.transport import (
     DEFAULT_TIMEOUT,
@@ -76,7 +141,12 @@ from repro.dist.transport import (
 
 __all__ = [
     "DEFAULT_TIMEOUT",
+    "CheckpointError",
     "DistError",
+    "Fault",
+    "FaultInjectingTransport",
+    "FaultPlan",
+    "InjectedCrash",
     "LoopbackFabric",
     "LoopbackTransport",
     "Rank",
@@ -86,5 +156,8 @@ __all__ = [
     "TriangleIndex",
     "allgather",
     "alltoallv",
+    "latest_common_epoch",
+    "load_rank_checkpoint",
     "open_listener",
+    "write_rank_checkpoint",
 ]

@@ -1,0 +1,243 @@
+"""Deterministic fault injection for the distributed peel.
+
+Every failure mode the supervisor must survive is expressible as a
+:class:`FaultPlan`: a script of :class:`Fault` points, each addressed
+by ``(rank, op, round, attempt)`` — *round* is the rank's nth call of
+that transport operation, *attempt* the supervisor's retry attempt —
+so a chaos schedule replays identically on every run and every
+transport.  This replaces the ad-hoc ``kill_rank`` hook the driver
+used to carry: a mid-run kill is now just ``FaultPlan.kill(rank)``,
+and drops, delays and duplicate frames are equally scriptable test
+fixtures.
+
+:class:`FaultInjectingTransport` wraps either concrete transport and
+applies the plan at the scripted points.  It also adds an 8-byte
+little-endian sequence number per directed channel to every frame —
+the mechanism that turns the two data-corruption faults into
+*deterministic* outcomes instead of timeout roulette:
+
+* a **duplicated** frame replays with a stale sequence number and is
+  silently discarded by the receiver — the run survives and stays
+  bit-identical;
+* a **dropped** frame leaves a gap: the receiver's next frame from
+  that peer carries a too-high sequence number and raises
+  :class:`~repro.dist.transport.TransportError` immediately, which
+  cascades into the supervisor's normal dead-rank recovery path;
+* a **crash** invokes the injector's ``crash`` action — raising
+  :class:`InjectedCrash` under loopback (the rank thread dies and
+  poisons its peers), ``os._exit`` under TCP rank processes (the
+  socket mesh sees a vanished peer);
+* a **delay** sleeps the scripted duration before the operation, the
+  knob for shaking out timeout and ordering assumptions without
+  changing any outcome.
+
+The driver wraps *every* rank's transport whenever a plan is active
+for the current attempt (sequence framing must be symmetric), so a
+rank without scripted faults still understands its peers' frames.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.dist.transport import DistError, Transport, TransportError
+
+#: per-channel frame sequence number, prefixed to every wrapped frame
+SEQ = struct.Struct("<Q")
+
+#: the transport operations a fault can hook
+FAULT_OPS = ("send", "recv")
+
+#: the injectable failure modes
+FAULT_KINDS = ("crash", "drop", "delay", "dup")
+
+
+class InjectedCrash(RuntimeError):
+    """The scripted crash marker a loopback rank dies with."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted fault point.
+
+    Fires on rank ``rank``'s ``round``-th call (0-based, counted per
+    transport lifetime) of operation ``op``, but only during
+    supervisor attempt ``attempt`` — the default ``attempt=0`` makes a
+    fault fire on the first try and *not* on the respawned retry, so a
+    recovery test converges by construction.  ``delay`` is the sleep
+    seconds for ``kind="delay"``.
+    """
+
+    rank: int
+    op: str
+    round: int
+    kind: str
+    attempt: int = 0
+    delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.op not in FAULT_OPS:
+            raise DistError(
+                f"unknown fault op {self.op!r}; expected one of {FAULT_OPS}"
+            )
+        if self.kind not in FAULT_KINDS:
+            raise DistError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if self.rank < 0 or self.round < 0 or self.attempt < 0:
+            raise DistError(
+                f"fault coordinates must be non-negative: {self}"
+            )
+
+
+class FaultPlan:
+    """An immutable, picklable script of fault points.
+
+    The driver slices it twice: :meth:`for_attempt` keeps the faults
+    of the current supervisor attempt (and decides whether any rank
+    needs wrapping at all), and the injector keeps only its own rank's
+    entries.  Plans cross the process boundary to TCP ranks via
+    pickle, so a chaos schedule behaves identically on both fabrics.
+    """
+
+    def __init__(self, faults: Sequence[Fault] = ()) -> None:
+        self.faults: Tuple[Fault, ...] = tuple(faults)
+        for f in self.faults:
+            if not isinstance(f, Fault):
+                raise DistError(f"not a Fault: {f!r}")
+
+    @classmethod
+    def kill(
+        cls, rank: int, op: str = "send", round: int = 0, attempt: int = 0
+    ) -> "FaultPlan":
+        """The ``kill_rank`` idiom: one scripted crash, first attempt."""
+        return cls([Fault(rank, op, round, "crash", attempt=attempt)])
+
+    def for_attempt(self, attempt: int) -> "FaultPlan":
+        return FaultPlan(
+            [f for f in self.faults if f.attempt == attempt]
+        )
+
+    def for_rank(self, rank: int) -> Tuple[Fault, ...]:
+        return tuple(f for f in self.faults if f.rank == rank)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({list(self.faults)!r})"
+
+
+def _default_crash(fault: Fault) -> None:
+    raise InjectedCrash(
+        f"rank {fault.rank} crashed by fault injection "
+        f"({fault.op} round {fault.round})"
+    )
+
+
+class FaultInjectingTransport(Transport):
+    """A transport wrapper that executes one rank's fault script.
+
+    Delegates the wire to ``inner`` while (a) counting this rank's
+    ``send``/``recv`` calls to match them against the scripted rounds
+    and (b) framing every payload with a per-channel sequence number,
+    which absorbs duplicated frames and turns dropped ones into an
+    immediate, attributable :class:`TransportError` at the receiver.
+    Byte/frame accounting is the inner transport's (the 8-byte
+    sequence header is charged like any payload byte — chaos runs
+    report what actually crossed the wire).
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        faults: Sequence[Fault] = (),
+        crash: Optional[Callable[[Fault], None]] = None,
+    ) -> None:
+        self.rank = inner.rank
+        self.size = inner.size
+        self.buffered = inner.buffered
+        self._inner = inner
+        self._faults = [f for f in faults if f.rank == inner.rank]
+        self._crash = crash or _default_crash
+        self._op_round = {op: 0 for op in FAULT_OPS}
+        self._send_seq: Dict[int, int] = {}
+        self._expect_seq: Dict[int, int] = {}
+
+    # accounting is the inner transport's single source of truth
+    @property
+    def bytes_sent(self) -> int:  # type: ignore[override]
+        return self._inner.bytes_sent
+
+    @property
+    def frames_sent(self) -> int:  # type: ignore[override]
+        return self._inner.frames_sent
+
+    def _due(self, op: str) -> Optional[Fault]:
+        rnd = self._op_round[op]
+        self._op_round[op] = rnd + 1
+        for f in self._faults:
+            if f.op == op and f.round == rnd:
+                return f
+        return None
+
+    def send(self, dst: int, payload: bytes) -> None:
+        fault = self._due("send")
+        if fault is not None:
+            if fault.kind == "crash":
+                self._crash(fault)
+            if fault.kind == "delay":
+                time.sleep(fault.delay)
+        seq = self._send_seq.get(dst, 0)
+        self._send_seq[dst] = seq + 1
+        frame = SEQ.pack(seq) + payload
+        if fault is not None and fault.kind == "drop":
+            return  # the frame vanishes; the gap is detected at dst
+        self._inner.send(dst, frame)
+        if fault is not None and fault.kind == "dup":
+            self._inner.send(dst, frame)  # stale replay, absorbed at dst
+
+    def recv(self, src: int) -> bytes:
+        fault = self._due("recv")
+        if fault is not None:
+            if fault.kind == "crash":
+                self._crash(fault)
+            if fault.kind == "delay":
+                time.sleep(fault.delay)
+        discard = fault is not None and fault.kind == "drop"
+        while True:
+            frame = self._inner.recv(src)
+            if len(frame) < SEQ.size:
+                raise TransportError(
+                    f"rank {self.rank}: runt frame from rank {src}"
+                )
+            (seq,) = SEQ.unpack_from(frame)
+            if discard:
+                # receive-side loss: the frame is thrown away without
+                # advancing the expectation, so the peer's *next* frame
+                # exposes the gap below
+                discard = False
+                continue
+            expected = self._expect_seq.get(src, 0)
+            if seq == expected:
+                self._expect_seq[src] = expected + 1
+                return frame[SEQ.size:]
+            if seq < expected:
+                continue  # duplicated frame: silently absorbed
+            raise TransportError(
+                f"rank {self.rank}: frame {expected} from rank {src} "
+                f"lost (next was {seq})"
+            )
+
+    def abort(self) -> None:
+        self._inner.abort()
+
+    def close(self) -> None:
+        self._inner.close()

@@ -32,6 +32,10 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.dist.checkpoint import (
+    load_rank_checkpoint,
+    write_rank_checkpoint,
+)
 from repro.dist.exchange import allgather, alltoallv
 from repro.dist.transport import DistError, Transport
 from repro.kernels import PeelKernel, get_kernel
@@ -71,10 +75,18 @@ class Rank:
         bounds: Sequence[int],
         tri: TriangleIndex,
         kernel: Optional[str] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_interval: int = 0,
+        resume_epoch: Optional[int] = None,
     ) -> None:
         if len(bounds) != size + 1:
             raise DistError(
                 f"{len(bounds)} shard bounds for {size} ranks"
+            )
+        if checkpoint_interval < 0:
+            raise DistError(
+                f"checkpoint interval must be >= 0, got "
+                f"{checkpoint_interval}"
             )
         self.rank = rank
         self.size = size
@@ -83,6 +95,14 @@ class Rank:
         self.lo = int(bounds[rank])
         self.hi = int(bounds[rank + 1])
         self.tri = tri
+        # survivability: where/how often to snapshot, and the barrier
+        # to rewind to (an epoch = the completed-level count at the
+        # barrier, identical on every rank by schedule determinism)
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_interval = (
+            checkpoint_interval if checkpoint_dir else 0
+        )
+        self.resume_epoch = resume_epoch
         # the wave-step backend; every rank pins the name the driver
         # resolved, so one peel never mixes kernels across ranks
         self.kernel: PeelKernel = get_kernel(kernel)
@@ -114,30 +134,83 @@ class Rank:
         e1, e2, e3 = tri.e1, tri.e2, tri.e3
         tptr, tinc = tri.tptr, tri.tinc
         n_tri = tri.num_triangles
-        # initial support == triangle-incidence count == tptr run length
-        sup = _np.diff(_np.asarray(tri.tptr[lo:hi + 1], dtype=_np.int64))
-        alive = _np.ones(mloc, dtype=bool)
-        phi = _np.zeros(mloc, dtype=_np.int64)
-        # per-shard alive-support histogram: supports only decrease, so
-        # the initial height bounds it for the whole peel
-        hist = (
-            _np.bincount(sup, minlength=1)
-            if mloc
-            else _np.zeros(1, dtype=_np.int64)
-        )
-        # the hash-partitioned dedupe bitmap: this rank owns triangles
-        # t with t % R == rank, indexed by t // R — the peel's only
-        # dead-triangle state, ~|△G|/R bytes
-        owned_dead = _np.zeros(
-            max(0, (n_tri - self.rank + R - 1) // R), dtype=bool
-        )
+        if self.resume_epoch is not None:
+            # rewind: reload the barrier snapshot instead of the
+            # initial state — the wave loop then replays the exact
+            # schedule an unfaulted run would have continued with
+            arrays, scalars = load_rank_checkpoint(
+                self.checkpoint_dir, self.resume_epoch, self.rank
+            )
+            sup = arrays["sup"]
+            alive = arrays["alive"]
+            phi = arrays["phi"]
+            hist = arrays["hist"]
+            owned_dead = arrays["owned_dead"]
+            floor = scalars["floor"]
+            k = scalars["k"]
+            remaining = scalars["remaining"]
+            waves = scalars["waves"]
+            levels = scalars["levels"]
+            max_wave = scalars["max_wave"]
+            exchange_rounds = scalars["exchange_rounds"]
+        else:
+            # initial support == triangle-incidence count == tptr run
+            # length
+            sup = _np.diff(
+                _np.asarray(tri.tptr[lo:hi + 1], dtype=_np.int64)
+            )
+            alive = _np.ones(mloc, dtype=bool)
+            phi = _np.zeros(mloc, dtype=_np.int64)
+            # per-shard alive-support histogram: supports only
+            # decrease, so the initial height bounds it for the peel
+            hist = (
+                _np.bincount(sup, minlength=1)
+                if mloc
+                else _np.zeros(1, dtype=_np.int64)
+            )
+            # the hash-partitioned dedupe bitmap: this rank owns
+            # triangles t with t % R == rank, indexed by t // R —
+            # the peel's only dead-triangle state, ~|△G|/R bytes
+            owned_dead = _np.zeros(
+                max(0, (n_tri - self.rank + R - 1) // R), dtype=bool
+            )
+            floor = 0
+            k = 2
+            remaining = mloc
+            waves = levels = max_wave = exchange_rounds = 0
         stride = max(n_tri, 1)
         empty = _np.zeros(0, dtype=_np.int64)
-        floor = 0
-        k = 2
-        remaining = mloc
-        waves = levels = max_wave = exchange_rounds = 0
+        interval = self.checkpoint_interval
+        # the wave count a snapshot becomes due at; both the counter
+        # and the schedule are rank-invariant, so every rank takes the
+        # checkpoint at the same level barrier with no extra exchange
+        next_ckpt = waves + interval if interval else None
+        checkpoints = 0
         while True:
+            if next_ckpt is not None and waves >= next_ckpt:
+                write_rank_checkpoint(
+                    self.checkpoint_dir,
+                    levels,  # the epoch id: completed levels so far
+                    self.rank,
+                    {
+                        "sup": sup,
+                        "alive": alive,
+                        "phi": phi,
+                        "hist": hist,
+                        "owned_dead": owned_dead,
+                    },
+                    {
+                        "floor": floor,
+                        "k": k,
+                        "remaining": remaining,
+                        "waves": waves,
+                        "levels": levels,
+                        "max_wave": max_wave,
+                        "exchange_rounds": exchange_rounds,
+                    },
+                )
+                checkpoints += 1
+                next_ckpt = waves + interval
             ctrl = allgather(
                 tp, (remaining, self._local_floor(hist, floor))
             )
@@ -205,4 +278,5 @@ class Rank:
             "exchange_rounds": exchange_rounds,
             "msg_bytes": tp.bytes_sent,
             "dedupe_bytes": int(owned_dead.nbytes),
+            "checkpoints": checkpoints,
         }

@@ -32,8 +32,10 @@ from __future__ import annotations
 
 import os
 import queue
+import random
 import socket
 import struct
+import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
@@ -126,6 +128,19 @@ class LoopbackFabric:
             raise DistError(f"rank {rank} outside 0..{self.size - 1}")
         return LoopbackTransport(rank, self, timeout)
 
+    def poison_all(self) -> None:
+        """Post a poison frame on every directed channel.
+
+        The driver's interrupt path: any rank blocked in ``recv`` —
+        whatever pair it is waiting on — unwinds with a
+        :class:`TransportError` instead of sitting out its timeout
+        after the driver has already given up on the run.
+        """
+        for dst in range(self.size):
+            for src in range(self.size):
+                if dst != src:
+                    self._queues[dst][src].put(_POISON)
+
 
 class LoopbackTransport(Transport):
     """Deterministic in-process transport over a :class:`LoopbackFabric`."""
@@ -176,6 +191,53 @@ def open_listener(host: str = "127.0.0.1") -> Tuple[socket.socket, int]:
     """
     listener = socket.create_server((host, 0))
     return listener, listener.getsockname()[1]
+
+
+#: mesh-dial retry budget: attempts and the backoff base/ceiling (s)
+DIAL_ATTEMPTS = int(os.environ.get("REPRO_DIST_DIAL_ATTEMPTS", "6"))
+_DIAL_BACKOFF_BASE = 0.05
+_DIAL_BACKOFF_CAP = 2.0
+
+
+def _dial_with_backoff(
+    host: str,
+    port: int,
+    rank: int,
+    timeout: float,
+    attempts: int = 0,
+) -> socket.socket:
+    """Dial a peer, absorbing startup races with jittered backoff.
+
+    A refused or reset dial usually means the peer's listener backlog
+    momentarily overflowed (every rank dials its lower peers the
+    instant the port map lands) or, on a real deployment, that the
+    peer process is still booting.  Instead of making that race fatal,
+    retry with exponential backoff and deterministic per-(rank, port)
+    jitter — desynchronizing the redial stampede without introducing
+    nondeterminism into test runs — until the attempt budget or the
+    overall ``timeout`` deadline runs out.
+    """
+    attempts = attempts or DIAL_ATTEMPTS
+    deadline = time.monotonic() + timeout
+    rng = random.Random((rank << 20) ^ port)
+    delay = _DIAL_BACKOFF_BASE
+    failure: Optional[OSError] = None
+    for attempt in range(max(1, attempts)):
+        if attempt:
+            pause = delay * (0.5 + rng.random())
+            if time.monotonic() + pause > deadline:
+                break
+            time.sleep(pause)
+            delay = min(delay * 2, _DIAL_BACKOFF_CAP)
+        try:
+            return socket.create_connection(
+                (host, port), timeout=min(timeout, max(deadline - time.monotonic(), 0.001))
+            )
+        except (ConnectionRefusedError, ConnectionResetError, TimeoutError, socket.timeout) as exc:
+            failure = exc
+    raise TransportError(
+        f"rank {rank}: dial to port {port} failed after retries: {failure}"
+    ) from failure
 
 
 def _recv_exact(sock: socket.socket, n: int, peer: int) -> bytes:
@@ -233,15 +295,19 @@ class TcpTransport(Transport):
 
         Rank ``r`` dials every rank ``s < r`` (announcing itself with
         an 8-byte :data:`HELLO` frame) and accepts one connection from
-        every rank ``s > r``, identifying each by its hello.  The
-        listener is closed once the mesh is complete.
+        every rank ``s > r``, identifying each by its hello.  Dials
+        retry with jittered exponential backoff
+        (:func:`_dial_with_backoff`) so a momentary accept-backlog
+        overflow or a slow-booting peer is a pause, not a fatal
+        startup race.  The listener is closed once the mesh is
+        complete.
         """
         peers: Dict[int, socket.socket] = {}
         try:
             listener.settimeout(timeout)
             for s in range(rank):
-                sock = socket.create_connection(
-                    (host, ports[s]), timeout=timeout
+                sock = _dial_with_backoff(
+                    host, ports[s], rank, timeout
                 )
                 peers[s] = sock
                 sock.settimeout(timeout)

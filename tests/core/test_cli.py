@@ -121,6 +121,47 @@ class TestDecompose:
             capsys.readouterr().err
         )
 
+    def test_timeout_rejected_without_dist(self, graph_file, capsys):
+        assert main([
+            "decompose", str(graph_file), "--method", "flat",
+            "--timeout", "30",
+        ]) == 2
+        assert "--timeout only applies to --method dist" in (
+            capsys.readouterr().err
+        )
+
+    def test_on_failure_rejected_without_dist(self, graph_file, capsys):
+        assert main([
+            "decompose", str(graph_file), "--method", "parallel",
+            "--on-failure", "retry",
+        ]) == 2
+        assert "--on-failure only applies to --method dist" in (
+            capsys.readouterr().err
+        )
+
+    def test_unknown_on_failure_rejected(self, graph_file, capsys):
+        with pytest.raises(SystemExit):  # argparse choices guard
+            main([
+                "decompose", str(graph_file), "--method", "dist",
+                "--on-failure", "shrug",
+            ])
+
+    def test_dist_survivability_flags_accepted(
+        self, graph_file, tmp_path
+    ):
+        out = tmp_path / "phi.txt"
+        assert main([
+            "decompose", str(graph_file), "-o", str(out),
+            "--method", "dist", "--ranks", "2",
+            "--timeout", "60", "--on-failure", "retry",
+        ]) == 0
+        reference = tmp_path / "flat.txt"
+        assert main([
+            "decompose", str(graph_file), "-o", str(reference),
+            "--method", "flat",
+        ]) == 0
+        assert out.read_text() == reference.read_text()
+
     @pytest.mark.parametrize("method", ["flat", "parallel", "dist"])
     @pytest.mark.parametrize("storage", ["ram", "mmap"])
     def test_index_storage_matches_flat(

@@ -11,6 +11,7 @@ or scratch directories.
 
 import multiprocessing
 import tempfile
+import time
 from pathlib import Path
 
 import pytest
@@ -23,6 +24,8 @@ from repro.graph import CSRGraph, Graph, complete_graph, write_edge_list
 from helpers import DIST_SWEEP
 
 np = pytest.importorskip("numpy")
+
+from repro.dist.faults import FaultPlan  # noqa: E402  (needs numpy first)
 
 
 def _dist_scratch_dirs():
@@ -213,7 +216,10 @@ class TestDriverIndexMemory:
 
 class TestFaultInjection:
     """The kill contract: a dead rank means a clean error, not a hang,
-    and never an orphaned process, socket or scratch directory."""
+    and never an orphaned process, socket or scratch directory.  The
+    kills are scripted through :class:`~repro.dist.faults.FaultPlan`
+    (which replaced the ad-hoc ``_kill_rank`` hook), so every failure
+    point replays identically."""
 
     @pytest.mark.parametrize("transport", ["loopback", "tcp"])
     def test_killed_rank_surfaces_repro_error(
@@ -225,9 +231,10 @@ class TestFaultInjection:
                 bridged_cliques,
                 ranks=2,
                 transport=transport,
-                _kill_rank=1,
+                fault_plan=FaultPlan.kill(1),
             )
-        # the triangle-index tempdir is gone even on the failure path
+        # the scratch tempdir (index + checkpoints) is gone even on
+        # the failure path
         assert _dist_scratch_dirs() == scratch_before
         # every rank process was reaped (loopback spawns none)
         assert multiprocessing.active_children() == []
@@ -236,7 +243,8 @@ class TestFaultInjection:
         """Rank 0 dying must not wedge the port/result gathering."""
         with pytest.raises(ReproError):
             truss_decomposition_dist(
-                bridged_cliques, ranks=3, transport="tcp", _kill_rank=0
+                bridged_cliques, ranks=3, transport="tcp",
+                fault_plan=FaultPlan.kill(0),
             )
         assert multiprocessing.active_children() == []
 
@@ -245,3 +253,126 @@ class TestFaultInjection:
         truss_decomposition_dist(bridged_cliques, ranks=2, transport="tcp")
         assert _dist_scratch_dirs() == scratch_before
         assert multiprocessing.active_children() == []
+
+
+class TestInterruptCleanup:
+    """A driver-side KeyboardInterrupt must reap every rank process,
+    unwind loopback rank threads, and remove the scratch directory —
+    interrupting a run cannot leak what a clean failure would not."""
+
+    def test_tcp_interrupt_reaps_and_removes_scratch(
+        self, bridged_cliques, monkeypatch
+    ):
+        import repro.core.dist as dist_mod
+
+        real_collect = dist_mod._collect
+        calls = {"n": 0}
+
+        def interrupting_collect(procs, pipes, expect, timeout):
+            calls["n"] += 1
+            if expect == "ok":
+                # mid-run: ranks are meshed and peeling right now
+                raise KeyboardInterrupt
+            return real_collect(procs, pipes, expect, timeout)
+
+        monkeypatch.setattr(dist_mod, "_collect", interrupting_collect)
+        scratch_before = _dist_scratch_dirs()
+        with pytest.raises(KeyboardInterrupt):
+            truss_decomposition_dist(
+                bridged_cliques, ranks=2, transport="tcp"
+            )
+        assert calls["n"] >= 2
+        assert multiprocessing.active_children() == []
+        assert _dist_scratch_dirs() == scratch_before
+
+    def test_loopback_interrupt_unwinds_rank_threads(
+        self, bridged_cliques, monkeypatch
+    ):
+        """An interrupt mid-join poisons the fabric so every rank
+        thread unwinds promptly instead of running out its timeout."""
+        import threading
+
+        import repro.core.dist as dist_mod
+
+        real_fabric = {}
+        orig_fabric_cls = dist_mod.LoopbackFabric
+
+        class RecordingFabric(orig_fabric_cls):
+            def __init__(self, size):
+                super().__init__(size)
+                real_fabric["fabric"] = self
+
+        interrupted = {"done": False}
+        orig_join = threading.Thread.join
+
+        def interrupting_join(self, timeout=None):
+            if timeout is None and not interrupted["done"]:
+                interrupted["done"] = True
+                raise KeyboardInterrupt
+            return orig_join(self, timeout)
+
+        monkeypatch.setattr(dist_mod, "LoopbackFabric", RecordingFabric)
+        monkeypatch.setattr(threading.Thread, "join", interrupting_join)
+        threads_before = threading.active_count()
+        scratch_before = _dist_scratch_dirs()
+        with pytest.raises(KeyboardInterrupt):
+            truss_decomposition_dist(bridged_cliques, ranks=2)
+        monkeypatch.undo()
+        # the poison unblocked every rank thread; give them a moment
+        deadline = time.monotonic() + 10
+        while (
+            threading.active_count() > threads_before
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        assert threading.active_count() <= threads_before
+        assert _dist_scratch_dirs() == scratch_before
+
+
+class TestSupervisorArgs:
+    """Resolution guards for the survivability knobs."""
+
+    def test_unknown_on_failure(self, triangle_graph):
+        with pytest.raises(DecompositionError, match="on_failure"):
+            truss_decomposition_dist(
+                triangle_graph, on_failure="shrug"
+            )
+
+    def test_bad_timeout(self, triangle_graph):
+        with pytest.raises(DecompositionError, match="timeout"):
+            truss_decomposition_dist(triangle_graph, timeout=0)
+
+    def test_bad_max_retries(self, triangle_graph):
+        with pytest.raises(DecompositionError, match="max_retries"):
+            truss_decomposition_dist(
+                triangle_graph, on_failure="retry", max_retries=-1
+            )
+
+    def test_bad_checkpoint_interval(self, triangle_graph):
+        with pytest.raises(
+            DecompositionError, match="checkpoint_interval"
+        ):
+            truss_decomposition_dist(
+                triangle_graph, checkpoint_interval=-4
+            )
+
+    def test_timeout_rejected_off_method(self, triangle_graph):
+        with pytest.raises(DecompositionError, match="timeout"):
+            truss_decomposition(
+                triangle_graph, method="flat", timeout=30
+            )
+
+    def test_on_failure_rejected_off_method(self, triangle_graph):
+        with pytest.raises(DecompositionError, match="on_failure"):
+            truss_decomposition(
+                triangle_graph, method="parallel", on_failure="retry"
+            )
+
+    def test_timeout_accepted_on_dist(self, bridged_cliques):
+        ref = truss_decomposition(bridged_cliques, method="flat")
+        td = truss_decomposition(
+            bridged_cliques, method="dist", ranks=2, timeout=60,
+            on_failure="retry",
+        )
+        assert td == ref
+        assert td.stats.extra["on_failure"] == "retry"
