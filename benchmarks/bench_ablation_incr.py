@@ -1,0 +1,70 @@
+"""Ablation: incremental truss maintenance vs from-scratch recompute.
+
+The streaming PR's claim, measured and machine-recorded: on the
+largest massive-registry dataset, repairing trussness through
+``TrussMaintainer`` after an edge update costs work proportional to
+the bounded affected region, while the only alternative — re-running
+the flat engine on the mutated graph — pays the full peel every time.
+
+* **asserted**: at batch size 1 (the query-server write path: one
+  update, one repair, freshness after every write) the incremental
+  side beats from-scratch recompute per update.  This ordering holds
+  on any host: the repair peels a handful of edges against a frozen
+  boundary, the recompute peels all of them.
+* **recorded, not asserted**: how the gap narrows as batches grow —
+  at batch 256 one recompute amortizes over the whole batch while the
+  batched repair's region (slack 2·B) swells, so the crossover point
+  is host- and graph-dependent; the JSON documents wherever it lands.
+
+``BENCH_incr.json`` (path overridable via ``REPRO_BENCH_INCR_JSON``)
+is the artifact the tier-2 ``stream-soak`` CI job uploads: per-batch
+walls, per-update milliseconds, speedups and mean affected-region
+size, plus host context.
+
+Run explicitly (the tier-1 suite collects only tests/)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_ablation_incr.py -s
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.bench.harness import incremental_rows, print_table
+
+BATCH_SIZES = (1, 16, 256)
+
+
+def _json_path() -> Path:
+    return Path(os.environ.get("REPRO_BENCH_INCR_JSON", "BENCH_incr.json"))
+
+
+def test_incremental_vs_scratch_ablation(scale):
+    """The update-batch comparison, recorded as BENCH_incr.json."""
+    rows = incremental_rows(scale=scale, batch_sizes=BATCH_SIZES)
+    print_table(
+        "incremental_updates",
+        rows,
+        "Ablation: incremental repair vs from-scratch recompute",
+    )
+    single = next(r for r in rows if r["batch"] == 1)
+    doc = {
+        "suite": "bench_ablation_incr",
+        "scale": scale,
+        "cpu_count": os.cpu_count() or 1,
+        "dataset": single["dataset"],
+        "batch_sizes": list(BATCH_SIZES),
+        "rows": rows,
+        "single_update_speedup": single["speedup"],
+        "single_update_repair_ms": single["incremental/update (ms)"],
+    }
+    path = _json_path()
+    path.write_text(json.dumps(doc, indent=2, default=float) + "\n")
+    print(f"\nwrote {path} (dataset={single['dataset']})")
+
+    # the acceptance contract: parity was asserted inside
+    # incremental_rows before any time was reported, and single-edge
+    # repair must beat a full recompute on the largest dataset
+    for row in rows:
+        assert row["incremental (s)"] > 0 and row["scratch (s)"] > 0, row
+    assert single["speedup"] > 1.0, single

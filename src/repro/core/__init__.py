@@ -4,6 +4,7 @@ Public surface (see :mod:`repro.core.api` for the uniform front door)::
 
     truss_decomposition(g, method=...)   dispatching entry point
     decompose_file(path, method=...)     file -> trussness fast path
+    apply_updates(g, updates, ...)       incremental write path (repro.stream)
     k_truss(g, k), trussness(g)          conveniences
     TrussDecomposition                   result model
     truss_decomposition_baseline         Algorithm 1  (TD-inmem)
@@ -32,6 +33,7 @@ ingest.
 from repro.core.api import (
     CSR_METHODS,
     METHODS,
+    apply_updates,
     decompose_file,
     k_truss,
     top_t_classes,
@@ -58,6 +60,7 @@ __all__ = [
     "TRANSPORTS",
     "decompose_file",
     "truss_decomposition",
+    "apply_updates",
     "k_truss",
     "trussness",
     "top_t_classes",

@@ -277,6 +277,36 @@ def decompose_file(
     )
 
 
+def apply_updates(
+    g,
+    updates,
+    *,
+    batch_size: int = 1,
+    kernel: Optional[str] = None,
+) -> TrussDecomposition:
+    """Decompose ``g``, then maintain trussness through ``updates``.
+
+    The incremental write path (see :mod:`repro.stream`): ``g`` (a
+    :class:`Graph` or CSR snapshot) is decomposed once with the flat
+    engine, then each ``(op, u, v)`` update — ``op`` is ``"insert"``/
+    ``"+"`` or ``"delete"``/``"-"`` — repairs only the bounded
+    affected region instead of re-peeling the whole graph.
+    ``batch_size`` groups updates into batches repaired once each
+    (``apply_batch``); the result is bit-identical either way.
+    """
+    from repro.stream import TrussMaintainer
+
+    if batch_size < 1:
+        raise DecompositionError(
+            f"batch_size must be >= 1, got {batch_size}"
+        )
+    tm = TrussMaintainer.from_graph(g, kernel=kernel)
+    ups = list(updates)
+    for i in range(0, len(ups), batch_size):
+        tm.apply_batch(ups[i : i + batch_size])
+    return tm.as_decomposition()
+
+
 def trussness(g: Graph, method: str = "improved") -> Dict[Edge, int]:
     """The ``phi(e)`` map of every edge."""
     return dict(truss_decomposition(g, method=method).trussness)

@@ -12,12 +12,18 @@ import sys
 from pathlib import Path
 
 import pytest
+from hypothesis import settings
 
 # Make the sibling ``oracles`` and ``helpers`` modules importable from
 # every test package.
 sys.path.insert(0, str(Path(__file__).parent))
 
 from repro.graph import Graph, complete_graph, disjoint_union  # noqa: E402
+
+# Raised-budget profile for the tier-2 soak jobs (e.g. stream-soak runs
+# the incremental-parity sweep with it): select with
+# ``--hypothesis-profile=soak``.  The default profile is untouched.
+settings.register_profile("soak", max_examples=300, deadline=None)
 
 
 @pytest.fixture

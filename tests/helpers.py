@@ -88,6 +88,67 @@ def peel_graphs(draw, max_vertices: int = 26, max_edges: int = 60):
     return star_heavy_graph(n, m, n_hubs=min(3, n - 1), seed=seed)
 
 
+@st.composite
+def update_streams(
+    draw,
+    max_vertices: int = 12,
+    max_edges: int = 28,
+    max_updates: int = 10,
+):
+    """A ``(graph, updates)`` pair for the incremental-parity sweeps.
+
+    The base graph comes from :func:`peel_graphs` (all three structural
+    families); ``updates`` is a list of ``(op, u, v)`` tuples that the
+    maintainer parity property replays against a mutable mirror.  The
+    mix deliberately covers every update shape the maintainer must
+    survive: fresh inserts and deletes over the occupied vertex range
+    plus two spare ids, *duplicate* inserts of existing edges, deletes
+    of absent (or already-deleted) edges, triangle-*creating* inserts
+    (closing an open wedge of the base graph) and triangle-*destroying*
+    deletes (edges sampled from the base graph's edge set).  Endpoint
+    order is flipped at random so canonicalization is exercised.
+    """
+    g = draw(peel_graphs(max_vertices=max_vertices, max_edges=max_edges))
+    verts = sorted(g.vertices())
+    hi = (verts[-1] + 2) if verts else 3
+    base = sorted(g.edges())
+    closures = sorted(
+        {
+            (a, b)
+            for w in verts
+            for a in g.neighbors(w)
+            for b in g.neighbors(w)
+            if a < b and not g.has_edge(a, b)
+        }
+    )[:64]
+    kinds = ["insert_pair", "delete_pair"]
+    if base:
+        kinds += ["delete_existing", "insert_duplicate"]
+    if closures:
+        kinds.append("close_wedge")
+    pair = st.tuples(
+        st.integers(min_value=0, max_value=hi),
+        st.integers(min_value=0, max_value=hi),
+    ).filter(lambda p: p[0] != p[1])
+    updates: List[Tuple[str, int, int]] = []
+    for _ in range(draw(st.integers(min_value=0, max_value=max_updates))):
+        kind = draw(st.sampled_from(kinds))
+        if kind == "insert_pair":
+            op, (u, v) = "insert", draw(pair)
+        elif kind == "delete_pair":
+            op, (u, v) = "delete", draw(pair)
+        elif kind == "delete_existing":
+            op, (u, v) = "delete", draw(st.sampled_from(base))
+        elif kind == "insert_duplicate":
+            op, (u, v) = "insert", draw(st.sampled_from(base))
+        else:
+            op, (u, v) = "insert", draw(st.sampled_from(closures))
+        if draw(st.booleans()):
+            u, v = v, u
+        updates.append((op, u, v))
+    return g, updates
+
+
 # ---------------------------------------------------------------------------
 # seeded edge-list file fuzzer
 # ---------------------------------------------------------------------------

@@ -1,0 +1,74 @@
+"""The ``repro update`` command: file-in, file-out incremental repair."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.graph import complete_graph, write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = complete_graph(5)
+    g.add_edge(0, 10)
+    path = tmp_path / "g.txt"
+    write_edge_list(g, path)
+    return path
+
+
+def _updates_file(tmp_path, text):
+    path = tmp_path / "ups.txt"
+    path.write_text(text)
+    return path
+
+
+class TestUpdate:
+    @pytest.mark.parametrize("batch", [1, 3])
+    def test_matches_flat_recompute_bytes(
+        self, graph_file, tmp_path, batch, capsys
+    ):
+        ups = _updates_file(
+            tmp_path,
+            "# grow a second clique corner, then retract the pendant\n"
+            "+ 1 10\n+ 2 10\n- 0 10\n- 7 8\n",
+        )
+        out = tmp_path / "incr.txt"
+        assert main([
+            "update", str(graph_file), str(ups),
+            "-o", str(out), "--batch", str(batch),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "applied=3" in err  # '- 7 8' is an absent-edge no-op
+        # reference: mutate the graph, flat-decompose from scratch
+        g = complete_graph(5)
+        g.add_edge(1, 10)
+        g.add_edge(2, 10)
+        after = tmp_path / "after.txt"
+        write_edge_list(g, after)
+        ref = tmp_path / "flat.txt"
+        assert main([
+            "decompose", str(after), "--method", "flat", "-o", str(ref),
+        ]) == 0
+        assert out.read_text() == ref.read_text()
+
+    def test_malformed_update_line_is_rejected(
+        self, graph_file, tmp_path, capsys
+    ):
+        ups = _updates_file(tmp_path, "+ 1 2\nzap 3 4\n")
+        assert main(["update", str(graph_file), str(ups)]) == 2
+        assert "expected '+ u v' or '- u v'" in capsys.readouterr().err
+
+    def test_non_integer_vertex_is_rejected(
+        self, graph_file, tmp_path, capsys
+    ):
+        ups = _updates_file(tmp_path, "+ 1 two\n")
+        assert main(["update", str(graph_file), str(ups)]) == 2
+        assert "non-integer vertex id" in capsys.readouterr().err
+
+    def test_bad_batch_is_rejected(self, graph_file, tmp_path, capsys):
+        ups = _updates_file(tmp_path, "+ 1 2\n")
+        assert main([
+            "update", str(graph_file), str(ups), "--batch", "0",
+        ]) == 2
+        assert "--batch must be >= 1" in capsys.readouterr().err
