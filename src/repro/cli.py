@@ -32,6 +32,23 @@ builder puts the O(|△G|) incidence index (default: auto by size;
 ``mmap`` holds driver memory at O(m) however many triangles), and
 ``--kernel auto|python|numpy|numba`` picks the pluggable wave-step
 backend from :mod:`repro.kernels` that every engine's inner loop runs.
+
+Profiling a decomposition
+-------------------------
+
+``decompose`` and ``update`` take ``--trace FILE`` (write the run's
+span/event stream as JSON-lines, schema in :mod:`repro.obs`) and
+``--metrics FILE`` (dump the run's counters/gauges/histograms —
+Prometheus text format, or a JSON object when FILE ends in ``.json``).
+``trace-report FILE`` renders a recorded trace as a human-readable
+per-phase / per-level / per-rank timeline::
+
+    repro decompose graph.txt --method dist --ranks 4 \\
+        --trace run.jsonl --metrics run.prom -o phi.txt
+    repro trace-report run.jsonl
+
+Tracing is off by default and the engines pay only a boolean check
+per wave when it stays off.
 """
 
 from __future__ import annotations
@@ -67,6 +84,20 @@ def _budget(g: Graph, fraction: Optional[int]) -> Optional[MemoryBudget]:
     if fraction is None:
         return None
     return MemoryBudget(units=max(16, g.size // fraction))
+
+
+def _write_metrics(path: str, stats) -> None:
+    """Dump a run's metrics registry: JSON for ``*.json``, else Prometheus."""
+    import json
+
+    reg = stats.metrics
+    if path.endswith(".json"):
+        text = json.dumps(reg.to_json(), indent=2, sort_keys=True) + "\n"
+    else:
+        text = reg.to_prometheus()
+    with open(path, "w") as fh:
+        fh.write(text)
+    print(f"metrics -> {path}", file=sys.stderr)
 
 
 def cmd_decompose(args: argparse.Namespace) -> int:
@@ -124,6 +155,7 @@ def cmd_decompose(args: argparse.Namespace) -> int:
             ranks=args.ranks, transport=args.transport,
             timeout=args.timeout, on_failure=args.on_failure,
             index_storage=args.index_storage, kernel=args.kernel,
+            trace_path=args.trace,
         )
         elapsed = time.perf_counter() - start
     else:
@@ -135,8 +167,11 @@ def cmd_decompose(args: argparse.Namespace) -> int:
             memory_budget=_budget(g, args.memory_fraction),
             io_stats=stats if args.method in ("bottomup", "topdown") else None,
             top_t=args.top,
+            trace_path=args.trace,
         )
         elapsed = time.perf_counter() - start
+    if args.metrics:
+        _write_metrics(args.metrics, td.stats)
     out = open(args.output, "w") if args.output else sys.stdout
     try:
         for (u, v), k in sorted(td.trussness.items()):
@@ -183,6 +218,7 @@ def _read_updates(path: str) -> List[tuple]:
 
 
 def cmd_update(args: argparse.Namespace) -> int:
+    from repro.obs import open_tracer
     from repro.stream import TrussMaintainer
 
     if args.batch < 1:
@@ -195,18 +231,27 @@ def cmd_update(args: argparse.Namespace) -> int:
         return 2
     t0 = time.perf_counter()
     csr = CSRGraph.from_edge_list_file(args.input)
-    tm = TrussMaintainer.from_graph(csr, kernel=args.kernel)
-    print(
-        f"loaded {args.input}: n={csr.num_vertices:,} m={csr.num_edges:,} "
-        f"(decomposed once, {time.perf_counter() - t0:.2f}s)",
-        file=sys.stderr,
-    )
-    start = time.perf_counter()
-    applied = 0
-    for i in range(0, len(updates), args.batch):
-        applied += tm.apply_batch(updates[i : i + args.batch])
-    elapsed = time.perf_counter() - start
+    tracer, owned = open_tracer(trace_path=args.trace)
+    try:
+        tm = TrussMaintainer.from_graph(
+            csr, kernel=args.kernel, trace=tracer
+        )
+        print(
+            f"loaded {args.input}: n={csr.num_vertices:,} m={csr.num_edges:,} "
+            f"(decomposed once, {time.perf_counter() - t0:.2f}s)",
+            file=sys.stderr,
+        )
+        start = time.perf_counter()
+        applied = 0
+        for i in range(0, len(updates), args.batch):
+            applied += tm.apply_batch(updates[i : i + args.batch])
+        elapsed = time.perf_counter() - start
+    finally:
+        if owned:
+            tracer.close()
     td = tm.as_decomposition()
+    if args.metrics:
+        _write_metrics(args.metrics, tm.stats)
     out = open(args.output, "w") if args.output else sys.stdout
     try:
         for (u, v), k in sorted(td.trussness.items()):
@@ -222,6 +267,20 @@ def cmd_update(args: argparse.Namespace) -> int:
         f"kmax={td.kmax} time={elapsed:.2f}s",
         file=sys.stderr,
     )
+    return 0
+
+
+def cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_trace_report
+
+    try:
+        print(render_trace_report(args.trace))
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -402,6 +461,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate memory M = |G|/F (external methods)",
     )
     p.add_argument("--top", type=int, default=None, help="top-t classes (topdown)")
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "record the run's span/event stream as JSON-lines here "
+            "(schema in repro.obs; render with 'repro trace-report')"
+        ),
+    )
+    p.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help=(
+            "dump the run's counters/gauges/histograms here — "
+            "Prometheus text exposition, or JSON when FILE ends .json"
+        ),
+    )
     p.set_defaults(func=cmd_decompose)
 
     p = sub.add_parser(
@@ -435,7 +512,40 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "python", "numpy", "numba"],
         help="wave-step backend for the repair peels (default: auto)",
     )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "record the seeding decomposition's and every repair's "
+            "spans as JSON-lines here (render with 'repro trace-report')"
+        ),
+    )
+    p.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help=(
+            "dump the maintainer's repair counters here — Prometheus "
+            "text exposition, or JSON when FILE ends .json"
+        ),
+    )
     p.set_defaults(func=cmd_update)
+
+    p = sub.add_parser(
+        "trace-report",
+        help="render a recorded --trace file as a timeline report",
+        description=(
+            "Render a JSON-lines trace recorded by 'decompose --trace' "
+            "or 'update --trace' as a human-readable report: per-phase "
+            "wall-clock split (index build vs peel vs repairs), the "
+            "per-level frontier-decay timeline, per-rank skew for "
+            "distributed runs, and any degradation warnings the run "
+            "emitted."
+        ),
+    )
+    p.add_argument("trace", help="JSON-lines trace file (from --trace)")
+    p.set_defaults(func=cmd_trace_report)
 
     p = sub.add_parser("ktruss", help="extract one k-truss")
     p.add_argument("input")

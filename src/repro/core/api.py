@@ -47,6 +47,7 @@ the dict-free streaming ingest.
 
 from __future__ import annotations
 
+import time as _time
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -65,6 +66,7 @@ from repro.exio.memory import MemoryBudget
 from repro.graph.adjacency import Graph
 from repro.graph.csr import CSRGraph
 from repro.graph.edges import Edge
+from repro.obs import open_tracer
 from repro.partition.base import Partitioner
 
 METHODS = (
@@ -94,6 +96,8 @@ def truss_decomposition(
     on_failure: Optional[str] = None,
     index_storage: Optional[str] = None,
     kernel: Optional[str] = None,
+    trace=None,
+    trace_path=None,
 ) -> TrussDecomposition:
     """Compute the truss decomposition of ``g``.
 
@@ -138,6 +142,14 @@ def truss_decomposition(
             :mod:`repro.kernels` — ``"auto"`` (default), ``"python"``,
             ``"numpy"`` or ``"numba"``; one backend runs the inner
             step of every engine, worker and rank alike.
+        trace: an enabled :class:`repro.obs.Tracer` to receive the
+            run's structured trace (spans, events, degradation
+            warnings) — see :mod:`repro.obs` for the schema.  The CSR
+            methods emit their full wave/level timelines; every other
+            method emits a whole-run ``decompose`` span.
+        trace_path: write the trace to this JSONL file instead —
+            opened, flushed and closed here.  Mutually exclusive with
+            ``trace``.
 
     Returns:
         A :class:`TrussDecomposition`; for ``top_t`` runs it is partial
@@ -168,57 +180,84 @@ def truss_decomposition(
             f"method {method!r} needs a mutable Graph; CSR snapshots are "
             f"accepted by {', '.join(CSR_METHODS)}"
         )
-    if method == "improved":
-        _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
-        return truss_decomposition_improved(g)
-    if method == "flat":
-        _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
-        return truss_decomposition_flat(
-            g, index_storage=index_storage, kernel=kernel
-        )
-    if method == "parallel":
-        _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
-        return truss_decomposition_parallel(
-            g, jobs=jobs, shards=shards, index_storage=index_storage,
-            kernel=kernel,
-        )
-    if method == "dist":
-        _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
-        return truss_decomposition_dist(
-            g, ranks=ranks, transport=transport, timeout=timeout,
-            on_failure=on_failure, index_storage=index_storage,
-            kernel=kernel,
-        )
-    if method == "baseline":
-        _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
-        return truss_decomposition_baseline(g)
-    if method == "bottomup":
-        if top_t is not None:
-            raise DecompositionError(
-                "top_t is only meaningful for method='topdown'"
+    try:
+        tracer, owned = open_tracer(trace, trace_path)
+    except ValueError as exc:
+        raise DecompositionError(str(exc)) from None
+
+    def dispatch() -> TrussDecomposition:
+        if method == "improved":
+            _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
+            return truss_decomposition_improved(g)
+        if method == "flat":
+            _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
+            return truss_decomposition_flat(
+                g, index_storage=index_storage, kernel=kernel,
+                trace=tracer,
             )
-        return truss_decomposition_bottomup(
-            g,
-            budget=memory_budget,
-            partitioner=partitioner,
-            workdir=workdir,
-            stats=io_stats,
+        if method == "parallel":
+            _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
+            return truss_decomposition_parallel(
+                g, jobs=jobs, shards=shards, index_storage=index_storage,
+                kernel=kernel, trace=tracer,
+            )
+        if method == "dist":
+            _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
+            return truss_decomposition_dist(
+                g, ranks=ranks, transport=transport, timeout=timeout,
+                on_failure=on_failure, index_storage=index_storage,
+                kernel=kernel, trace=tracer,
+            )
+        if method == "baseline":
+            _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
+            return truss_decomposition_baseline(g)
+        if method == "bottomup":
+            if top_t is not None:
+                raise DecompositionError(
+                    "top_t is only meaningful for method='topdown'"
+                )
+            return truss_decomposition_bottomup(
+                g,
+                budget=memory_budget,
+                partitioner=partitioner,
+                workdir=workdir,
+                stats=io_stats,
+            )
+        if method == "topdown":
+            return truss_decomposition_topdown(
+                g,
+                t=top_t,
+                budget=memory_budget,
+                partitioner=partitioner,
+                workdir=workdir,
+                stats=io_stats,
+            )
+        if method == "mapreduce":
+            _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
+            return truss_decomposition_mapreduce(g)
+        raise DecompositionError(
+            f"unknown method {method!r}; expected one of {METHODS}"
         )
-    if method == "topdown":
-        return truss_decomposition_topdown(
-            g,
-            t=top_t,
-            budget=memory_budget,
-            partitioner=partitioner,
-            workdir=workdir,
-            stats=io_stats,
+
+    try:
+        if method in CSR_METHODS or not tracer.enabled:
+            return dispatch()
+        # the non-CSR methods are not internally instrumented; give
+        # their traces a run_start and one whole-run span so every
+        # method's trace is renderable by the same report
+        tracer.event(
+            "run_start", engine=method,
+            m=int(getattr(g, "num_edges", 0) or 0),
         )
-    if method == "mapreduce":
-        _reject_external_args(method, memory_budget, partitioner, io_stats, top_t)
-        return truss_decomposition_mapreduce(g)
-    raise DecompositionError(
-        f"unknown method {method!r}; expected one of {METHODS}"
-    )
+        t0 = _time.perf_counter()
+        td = dispatch()
+        tracer.complete_span(
+            "decompose", _time.perf_counter() - t0, method=method
+        )
+        return td
+    finally:
+        if owned:
+            tracer.close()
 
 
 def _reject_external_args(method, memory_budget, partitioner, io_stats, top_t):
@@ -247,6 +286,8 @@ def decompose_file(
     on_failure: Optional[str] = None,
     index_storage: Optional[str] = None,
     kernel: Optional[str] = None,
+    trace=None,
+    trace_path=None,
     **kwargs,
 ) -> TrussDecomposition:
     """Truss-decompose an edge-list file, riding the ingest fast path.
@@ -265,7 +306,7 @@ def decompose_file(
             csr, method=method, jobs=jobs, shards=shards, ranks=ranks,
             transport=transport, timeout=timeout,
             on_failure=on_failure, index_storage=index_storage,
-            kernel=kernel, **kwargs
+            kernel=kernel, trace=trace, trace_path=trace_path, **kwargs
         )
     from repro.graph.io import read_edge_list
 
@@ -273,7 +314,7 @@ def decompose_file(
         read_edge_list(path), method=method, jobs=jobs, shards=shards,
         ranks=ranks, transport=transport, timeout=timeout,
         on_failure=on_failure, index_storage=index_storage,
-        kernel=kernel, **kwargs
+        kernel=kernel, trace=trace, trace_path=trace_path, **kwargs
     )
 
 
@@ -283,6 +324,8 @@ def apply_updates(
     *,
     batch_size: int = 1,
     kernel: Optional[str] = None,
+    trace=None,
+    trace_path=None,
 ) -> TrussDecomposition:
     """Decompose ``g``, then maintain trussness through ``updates``.
 
@@ -293,6 +336,9 @@ def apply_updates(
     affected region instead of re-peeling the whole graph.
     ``batch_size`` groups updates into batches repaired once each
     (``apply_batch``); the result is bit-identical either way.
+    ``trace``/``trace_path`` capture the seeding decomposition and
+    every repair as a structured trace, exactly like
+    :func:`truss_decomposition`.
     """
     from repro.stream import TrussMaintainer
 
@@ -300,11 +346,19 @@ def apply_updates(
         raise DecompositionError(
             f"batch_size must be >= 1, got {batch_size}"
         )
-    tm = TrussMaintainer.from_graph(g, kernel=kernel)
-    ups = list(updates)
-    for i in range(0, len(ups), batch_size):
-        tm.apply_batch(ups[i : i + batch_size])
-    return tm.as_decomposition()
+    try:
+        tracer, owned = open_tracer(trace, trace_path)
+    except ValueError as exc:
+        raise DecompositionError(str(exc)) from None
+    try:
+        tm = TrussMaintainer.from_graph(g, kernel=kernel, trace=tracer)
+        ups = list(updates)
+        for i in range(0, len(ups), batch_size):
+            tm.apply_batch(ups[i : i + batch_size])
+        return tm.as_decomposition()
+    finally:
+        if owned:
+            tracer.close()
 
 
 def trussness(g: Graph, method: str = "improved") -> Dict[Edge, int]:

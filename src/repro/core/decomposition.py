@@ -15,36 +15,59 @@ users who want belt-and-braces validation on their own data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import DecompositionError
 from repro.exio.iostats import IOStats
 from repro.graph.adjacency import Graph
 from repro.graph.edges import Edge, norm_edge
 from repro.graph.views import union_edge_subgraph
+from repro.obs.metrics import MetricsRegistry
 
 
-@dataclass
 class DecompositionStats:
     """Bookkeeping attached to a decomposition run.
 
-    ``extra`` carries method-specific counters (candidate subgraph
-    sizes, MapReduce rounds, partition iterations...) that the benchmark
-    harness folds into its tables.
+    Backed by a :class:`repro.obs.metrics.MetricsRegistry`:
+    :meth:`record` sets a gauge (or an info series for string values),
+    :meth:`bump` increments a counter, and the legacy ``extra`` dict
+    the benchmark harness folds into its tables is a *derived snapshot*
+    of the registry — one store, two views, no parallel bookkeeping.
+    The registry itself (``metrics``) carries everything the plain dict
+    cannot: labeled series, histograms, and the Prometheus/JSON
+    expositions behind the CLI's ``--metrics FILE``.
     """
 
-    method: str
-    io: Optional[IOStats] = None
-    extra: Dict[str, float] = field(default_factory=dict)
+    __slots__ = ("method", "io", "metrics")
+
+    def __init__(
+        self,
+        method: str,
+        io: Optional[IOStats] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.method = method
+        self.io = io
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     def record(self, key: str, value: float) -> None:
-        """Set a named counter."""
-        self.extra[key] = value
+        """Set a named counter (a registry gauge / info series)."""
+        self.metrics.set(key, value)
 
     def bump(self, key: str, amount: float = 1) -> None:
-        """Increment a named counter."""
-        self.extra[key] = self.extra.get(key, 0) + amount
+        """Increment a named counter (a registry counter series)."""
+        self.metrics.inc(key, amount)
+
+    @property
+    def extra(self) -> Dict[str, float]:
+        """The legacy flat stats dict, derived from the registry."""
+        return self.metrics.as_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"DecompositionStats(method={self.method!r}, "
+            f"extra={self.extra!r})"
+        )
 
 
 class TrussDecomposition:

@@ -75,6 +75,7 @@ from repro.dist.transport import (
 )
 from repro.errors import DecompositionError
 from repro.kernels import resolve_kernel
+from repro.obs import NULL_TRACER, warn_degraded
 from repro.partition.edge_shards import plan_edge_shards
 
 try:  # optional accelerator; the stdlib fallback degrades to core.flat
@@ -178,6 +179,7 @@ def _run_loopback(
     ckpt_interval: int = 0,
     resume_epoch: Optional[int] = None,
     faults: Optional[FaultPlan] = None,
+    trace: bool = False,
 ):
     fabric = LoopbackFabric(nranks)
     results: List = [None] * nranks
@@ -194,6 +196,7 @@ def _run_loopback(
                 checkpoint_dir=ckpt_dir,
                 checkpoint_interval=ckpt_interval,
                 resume_epoch=resume_epoch,
+                trace=trace,
             ).run()
         except BaseException as exc:
             failures[r] = exc
@@ -268,6 +271,7 @@ def _tcp_rank_main(
     ckpt_interval: int = 0,
     resume_epoch: Optional[int] = None,
     faults: Optional[FaultPlan] = None,
+    trace: bool = False,
 ) -> None:
     """Rank-process entry: handshake, peel, report — or die loudly.
 
@@ -299,6 +303,7 @@ def _tcp_rank_main(
             checkpoint_dir=ckpt_dir,
             checkpoint_interval=ckpt_interval,
             resume_epoch=resume_epoch,
+            trace=trace,
         ).run()
         conn.send(("ok", rank, phi.tobytes(), k, st))
     except BaseException as exc:
@@ -371,6 +376,7 @@ def _run_tcp(
     ckpt_interval: int = 0,
     resume_epoch: Optional[int] = None,
     faults: Optional[FaultPlan] = None,
+    trace: bool = False,
 ):
     ctx = _mp.get_context()
     procs: List = []
@@ -387,6 +393,7 @@ def _run_tcp(
                     ckpt_interval=ckpt_interval,
                     resume_epoch=resume_epoch,
                     faults=faults,
+                    trace=trace,
                 ),
                 daemon=True,
             )
@@ -448,6 +455,7 @@ def _supervise(
     ckpt_interval: int,
     fault_plan: Optional[FaultPlan],
     stats: DecompositionStats,
+    tracer=None,
 ):
     """Run launch attempts until one completes or the policy gives up.
 
@@ -458,6 +466,7 @@ def _supervise(
     waves are never recomputed once a barrier has them.
     """
     run = _run_tcp if mode == "tcp" else _run_loopback
+    tr = tracer if tracer is not None else NULL_TRACER
     budget = max_retries if on_failure != "raise" else 0
     attempt = 0
     resume_epoch: Optional[int] = None
@@ -471,6 +480,7 @@ def _supervise(
                 timeout=timeout, ckpt_dir=ckpt_dir,
                 ckpt_interval=ckpt_interval,
                 resume_epoch=resume_epoch, faults=faults,
+                trace=tr.enabled,
             )
             stats.record("retries", attempt)
             stats.record(
@@ -478,16 +488,27 @@ def _supervise(
                 resume_epoch if resume_epoch is not None else -1,
             )
             return out
-        except DistError:
+        except DistError as exc:
             if attempt >= budget:
                 if on_failure == "fallback_flat":
                     stats.record("retries", attempt)
+                    warn_degraded(
+                        tr, stats.metrics, "dist_fallback_flat",
+                        retries=attempt, error=str(exc)[:200],
+                    )
                     return None
                 raise
             attempt += 1
             # rewind target: the newest barrier with a complete, valid
             # snapshot from every rank; None restarts from scratch
             resume_epoch = latest_common_epoch(ckpt_dir, nranks)
+            warn_degraded(
+                tr, stats.metrics, "dist_retry", attempt=attempt,
+                resume_epoch=(
+                    resume_epoch if resume_epoch is not None else -1
+                ),
+                error=str(exc)[:200],
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -505,6 +526,7 @@ def truss_decomposition_dist(
     max_retries: Optional[int] = None,
     checkpoint_interval: Optional[int] = None,
     fault_plan: Optional[FaultPlan] = None,
+    trace=None,
 ) -> TrussDecomposition:
     """Truss-decompose ``g`` with the rank-distributed wave peel.
 
@@ -549,6 +571,11 @@ def truss_decomposition_dist(
             crash/drop/delay/duplicate faults — the reproducible chaos
             harness the recovery tests and benchmarks drive; ``None``
             injects nothing.
+        trace: an enabled :class:`repro.obs.Tracer` to receive the
+            run's spans and events.  Ranks record their own streams in
+            memory and ship them back with the results; the driver
+            absorbs them here in rank order, so the file holds one
+            merged, driver-ordered trace.
 
     Returns the identical trussness map as ``method="flat"`` — neither
     the rank count, the transport, the index storage nor any survived
@@ -576,13 +603,25 @@ def truss_decomposition_dist(
     m = csr.num_edges
     stats = DecompositionStats(method="dist")
     stats.record("transport", mode)
+    tr = trace if trace is not None else NULL_TRACER
     if _np is None or _mp is None:
         # no vectorized substrate: degrade to the stdlib flat engine
+        if tr.enabled:
+            tr.event("run_start", engine="dist", m=int(m),
+                     transport=mode, ranks=1)
+        if m:
+            warn_degraded(tr, stats.metrics, "stdlib_fallback",
+                          engine="dist")
         stats.record("stdlib_fallback", 1)
         stats.record("ranks", 1)
+        t0 = time.perf_counter()
         sup = _initial_supports_python(csr, m)
         eu, ev = csr.edge_endpoints()
         phi, k = _peel_wedge_bisect(csr, m, sup, eu, ev)
+        peel_s = time.perf_counter() - t0
+        stats.record("peel_s", round(peel_s, 6))
+        if tr.enabled:
+            tr.complete_span("peel", peel_s, engine="dist")
         return result_from_phi(csr, phi, k if m else 2, stats)
     nranks = _resolve_ranks(ranks, m)
     stats.record("ranks", nranks)
@@ -590,6 +629,10 @@ def truss_decomposition_dist(
     stats.record("kernel", kname)
     stats.record("on_failure", policy)
     stats.record("checkpoint_interval", interval)
+    if tr.enabled:
+        tr.event("run_start", engine="dist", m=int(m), kernel=kname,
+                 transport=mode, ranks=int(nranks), on_failure=policy,
+                 checkpoint_interval=int(interval))
     if not m:
         return result_from_phi(csr, array("q"), 2, stats)
     # scratch layout: <tmp>/index (the mmapped triangle index) and
@@ -603,6 +646,7 @@ def truss_decomposition_dist(
         ckpt_dir = os.path.join(tmp, "ckpt")
         os.mkdir(index_dir)
         os.mkdir(ckpt_dir)
+        t0 = time.perf_counter()
         if storage == "ram":
             tri = build_triangle_index(csr)
             TriangleIndex.write(
@@ -613,7 +657,12 @@ def truss_decomposition_dist(
             tri = build_triangle_index(
                 csr, storage="mmap", dirpath=index_dir
             )
+        build_s = time.perf_counter() - t0
+        stats.record("index_build_s", round(build_s, 6))
         n_tri = tri.num_triangles
+        if tr.enabled:
+            tr.complete_span("index_build", build_s, storage=storage,
+                             triangles=int(n_tri))
         # shard weights need only the O(m) incidence runs, so the
         # driver's peel-time state is O(m) however large |△G| gets
         plan = plan_edge_shards(m, nranks, weights=tri.initial_supports())
@@ -621,9 +670,11 @@ def truss_decomposition_dist(
         # the ranks mmap the files; drop the driver's handles so no
         # single process keeps holding the whole index
         del tri
+        t_peel = time.perf_counter()
         out = _supervise(
             mode, nranks, index_dir, ckpt_dir, bounds, kname,
             deadline, policy, retries, interval, fault_plan, stats,
+            tracer=tr,
         )
         if out is None:
             # fallback_flat: the budget ran out; answer locally.  The
@@ -631,15 +682,32 @@ def truss_decomposition_dist(
             # same bits the mesh would have produced.
             from repro.core.flat import truss_decomposition_flat
 
-            td = truss_decomposition_flat(csr, kernel=kname)
+            td = truss_decomposition_flat(csr, kernel=kname, trace=tr)
+            flat_extra = td.stats.extra
             for key, value in stats.extra.items():
-                td.stats.record(key, value)
+                # keep the flat run's own values; labeled series (the
+                # "{...}" keys) merge through the registry below
+                if key not in flat_extra and "{" not in key:
+                    td.stats.record(key, value)
+            for name, labels, value in stats.metrics.counter_items():
+                td.stats.metrics.inc(name, value, **labels)
             td.stats.record("fallback", "flat")
             td.stats.record("retries_exhausted", retries)
             return td
         phi, k, rank_stats = out
+        peel_s = time.perf_counter() - t_peel
+        stats.record("peel_s", round(peel_s, 6))
     finally:
         shutil.rmtree(tmp, ignore_errors=True)
+    if tr.enabled:
+        tr.complete_span("peel", peel_s, engine="dist",
+                         ranks=int(nranks), transport=mode)
+        # the homeward leg: absorb each rank's recorded stream, in
+        # rank order, and fold its kernel-op counts into the registry
+        for r, st in enumerate(rank_stats):
+            tr.absorb(st.pop("trace", []), rank=r)
+            for op, n in st.pop("kernel_ops", {}).items():
+                stats.metrics.inc("repro_kernel_ops_total", n, op=op)
     # the schedule is identical on every rank; rank 0 speaks for it
     head = rank_stats[0]
     for key in ("waves", "levels", "max_wave", "exchange_rounds",
@@ -647,6 +715,7 @@ def truss_decomposition_dist(
         stats.record(key, head[key])
     msg_bytes = sum(st["msg_bytes"] for st in rank_stats)
     stats.record("msg_bytes", msg_bytes)
+    stats.record("msg_frames", sum(st["msg_frames"] for st in rank_stats))
     stats.record("bytes_per_wave", msg_bytes / max(head["waves"], 1))
     stats.record(
         "dedupe_peak_bytes",

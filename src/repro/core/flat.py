@@ -49,6 +49,7 @@ from __future__ import annotations
 import tempfile
 from array import array
 from bisect import bisect_left
+from time import perf_counter as _perf
 from typing import Optional, Tuple
 
 from repro.core.decomposition import DecompositionStats, TrussDecomposition
@@ -56,6 +57,7 @@ from repro.errors import DecompositionError
 from repro.graph.adjacency import Graph
 from repro.graph.csr import CSRGraph
 from repro.kernels import PeelKernel, get_kernel, resolve_kernel
+from repro.obs import NULL_TRACER, CountingKernel, warn_degraded
 from repro.triangles.index_builder import (
     INDEX_STORAGES,
     TriangleIndex,
@@ -225,6 +227,8 @@ def run_wave_peel(
     split_hits=None,
     run_map=None,
     account_ipc: bool = False,
+    tracer=None,
+    metrics=None,
 ):
     """The level-synchronous wave peel, generic over its execution map.
 
@@ -261,6 +265,13 @@ def run_wave_peel(
     the wave stats (0 when not accounting: the inline map moves
     nothing).
 
+    With a ``tracer`` whose ``enabled`` flag is set, every wave and
+    level is emitted as a span (``wave``: k/frontier/killed/ipc_bytes,
+    ``level``: k/waves/popped/floor) and ``metrics`` — when given —
+    observes each frontier size into the
+    ``repro_wave_frontier_edges`` histogram; the untraced path pays a
+    single truthiness check per wave.
+
     Returns ``(phi, k, wave_stats)``.
     """
     identity = lambda x: [x]  # noqa: E731
@@ -269,6 +280,8 @@ def run_wave_peel(
     if run_map is None:
         run_map = lambda fn, parts: [fn(p) for p in parts]  # noqa: E731
     kern = kernel if kernel is not None else get_kernel()
+    tr = tracer if tracer is not None else NULL_TRACER
+    trace_on = tr.enabled
     sup, alive, tdead = views["sup"], views["alive"], views["tdead"]
     phi = _np.zeros(m, dtype=_np.int64)
     # alive-support histogram; supports only decrease, so its length is
@@ -285,10 +298,21 @@ def run_wave_peel(
         if floor + 2 > k:
             k = floor + 2
         levels += 1
+        if trace_on:
+            level_t0 = _perf()
+            level_waves = level_popped = 0
         frontier = _np.flatnonzero(alive & (sup <= k - 2))
         while frontier.size:
             waves += 1
-            max_wave = max(max_wave, int(frontier.size))
+            wave_size = int(frontier.size)
+            max_wave = max(max_wave, wave_size)
+            if trace_on:
+                wave_t0 = _perf()
+                wave_ipc0 = ipc_bytes
+                level_waves += 1
+                level_popped += wave_size
+                if metrics is not None:
+                    metrics.observe("repro_wave_frontier_edges", wave_size)
             kern.pop_frontier(sup, alive, phi, hist, frontier, k)
             remaining -= int(frontier.size)
             # gather: destroyed-triangle candidates per partition, with
@@ -302,6 +326,12 @@ def run_wave_peel(
                 _np.concatenate(hits)
             )
             if hit.size == 0:
+                if trace_on:
+                    tr.complete_span(
+                        "wave", _perf() - wave_t0, k=int(k),
+                        frontier=wave_size, killed=0,
+                        ipc_bytes=ipc_bytes - wave_ipc0,
+                    )
                 break
             tdead[hit] = True
             # scatter: per-partition decrement buffers, merged exactly
@@ -314,6 +344,17 @@ def run_wave_peel(
                 )
             touched, dec = kern.merge_decrements(buffers)
             frontier = kern.apply_decrements(sup, hist, touched, dec, k)
+            if trace_on:
+                tr.complete_span(
+                    "wave", _perf() - wave_t0, k=int(k),
+                    frontier=wave_size, killed=int(hit.size),
+                    ipc_bytes=ipc_bytes - wave_ipc0,
+                )
+        if trace_on:
+            tr.complete_span(
+                "level", _perf() - level_t0, k=int(k),
+                waves=level_waves, popped=level_popped, floor=int(floor),
+            )
     return phi, k, {
         "waves": waves,
         "levels": levels,
@@ -327,6 +368,7 @@ def _peel_over_index(
     m: int,
     stats: Optional[DecompositionStats],
     kern: Optional[PeelKernel] = None,
+    tracer=None,
 ) -> Tuple[array, int]:
     """:func:`run_wave_peel` with the identity map over a built index."""
     e1, e2, e3 = tri.e1, tri.e2, tri.e3
@@ -348,6 +390,8 @@ def _peel_over_index(
             e1, e2, e3, h, views["alive"]
         ),
         kernel=kern,
+        tracer=tracer,
+        metrics=stats.metrics if stats is not None else None,
     )
     if stats is not None:
         for key, value in wave_stats.items():
@@ -361,6 +405,7 @@ def _peel_waves(
     index_storage: Optional[str] = None,
     stats: Optional[DecompositionStats] = None,
     kern: Optional[PeelKernel] = None,
+    tracer=None,
 ) -> Tuple[array, int]:
     """Serial wave peeling over the streamed triangle index (numpy).
 
@@ -374,13 +419,30 @@ def _peel_waves(
     index-free stdlib fallback.
     """
     mode = resolve_index_storage(index_storage)
+    tr = tracer if tracer is not None else NULL_TRACER
     if mode == "ram":
-        return _peel_over_index(build_triangle_index(csr), m, stats, kern)
+        t0 = _perf()
+        tri = build_triangle_index(csr)
+        _record_index_build(tri, _perf() - t0, stats, tr)
+        return _peel_over_index(tri, m, stats, kern, tracer=tr)
     # "mmap" or "auto" (which may still choose ram — the tempdir is
     # then simply empty): the on-disk index lives only for the peel
     with tempfile.TemporaryDirectory(prefix="repro-triidx-") as tmp:
+        t0 = _perf()
         tri = build_triangle_index(csr, storage=mode, dirpath=tmp)
-        return _peel_over_index(tri, m, stats, kern)
+        _record_index_build(tri, _perf() - t0, stats, tr)
+        return _peel_over_index(tri, m, stats, kern, tracer=tr)
+
+
+def _record_index_build(tri, seconds, stats, tracer) -> None:
+    """Log one index build into the stats gauge and the trace."""
+    if stats is not None:
+        stats.record("index_build_s", round(seconds, 6))
+    if tracer.enabled:
+        tracer.complete_span(
+            "index_build", seconds,
+            storage=str(tri.storage), triangles=int(tri.num_triangles),
+        )
 
 
 def _peel_wedge_bisect(
@@ -509,6 +571,7 @@ def truss_decomposition_flat(
     g,
     index_storage: Optional[str] = None,
     kernel: Optional[str] = None,
+    trace=None,
 ) -> TrussDecomposition:
     """Run Algorithm 2 over flat edge arrays.
 
@@ -518,19 +581,44 @@ def truss_decomposition_flat(
     ``None``: auto by size) and ``kernel`` the wave-step backend
     (``"auto"``/``"python"``/``"numpy"``/``"numba"``; ``None``: auto)
     — the stdlib fallback peels without an index and ignores both.
+    ``trace`` takes an enabled :class:`repro.obs.Tracer` to emit the
+    run's spans and events into (``None``: the no-op tracer).
     """
     resolve_index_storage(index_storage)  # validate eagerly, any path
     kname = resolve_kernel(kernel)
     csr = _as_csr(g)
     m = csr.num_edges
     stats = DecompositionStats(method="flat")
+    tr = trace if trace is not None else NULL_TRACER
+    if tr.enabled:
+        tr.event("run_start", engine="flat", m=int(m), kernel=kname,
+                 index_storage=index_storage or "auto")
     if _np is not None and m:
         stats.record("kernel", kname)
-        phi, k = _peel_waves(
-            csr, m, index_storage, stats, get_kernel(kname)
-        )
+        if kname == "python" and kernel in (None, "auto"):
+            warn_degraded(tr, stats.metrics, "kernel_auto_python",
+                          engine="flat")
+        kern = get_kernel(kname)
+        if tr.enabled:
+            kern = CountingKernel(kern)
+        t0 = _perf()
+        phi, k = _peel_waves(csr, m, index_storage, stats, kern, tracer=tr)
+        build_s = stats.metrics.value("index_build_s") or 0.0
+        peel_s = max(_perf() - t0 - build_s, 0.0)
+        stats.record("peel_s", round(peel_s, 6))
+        if tr.enabled:
+            tr.complete_span("peel", peel_s, engine="flat")
+            kern.flush_into(stats.metrics)
     else:
+        if m:
+            warn_degraded(tr, stats.metrics, "stdlib_fallback",
+                          engine="flat")
+        t0 = _perf()
         sup = _initial_supports_python(csr, m)
         eu, ev = csr.edge_endpoints()
         phi, k = _peel_wedge_bisect(csr, m, sup, eu, ev)
+        peel_s = _perf() - t0
+        stats.record("peel_s", round(peel_s, 6))
+        if tr.enabled:
+            tr.complete_span("peel", peel_s, engine="flat")
     return result_from_phi(csr, phi, k if m else 2, stats)

@@ -102,6 +102,7 @@ from __future__ import annotations
 import os
 import tempfile
 from array import array
+from time import perf_counter as _perf
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.decomposition import DecompositionStats, TrussDecomposition
@@ -109,12 +110,14 @@ from repro.core.flat import (
     _as_csr,
     _initial_supports_python,
     _peel_wedge_bisect,
+    _record_index_build,
     resolve_index_storage,
     result_from_phi,
     run_wave_peel,
 )
 from repro.errors import DecompositionError
 from repro.kernels import PeelKernel, get_kernel, resolve_kernel
+from repro.obs import NULL_TRACER, CountingKernel, warn_degraded
 from repro.graph.csr import CSRGraph
 from repro.partition.edge_shards import (
     balanced_prefix_cuts,
@@ -371,6 +374,8 @@ def run_static_wave_peel(
     decrement,
     run_map=None,
     account_ipc: bool = False,
+    tracer=None,
+    metrics=None,
 ):
     """The owner-computes wave peel over a static edge-shard plan.
 
@@ -387,12 +392,16 @@ def run_static_wave_peel(
 
     With ``account_ipc``, totals the bytes of every routed array
     (frontier and triangle slices out, candidates and sub-frontiers
-    back) into the ``ipc_bytes`` wave stat.
+    back) into the ``ipc_bytes`` wave stat.  ``tracer``/``metrics``
+    emit the same wave/level spans and frontier histogram as
+    :func:`repro.core.flat.run_wave_peel`.
 
     Returns ``(phi, k, wave_stats)`` — ``phi`` is the shared view.
     """
     if run_map is None:
         run_map = lambda fn, tasks: [fn(t) for t in tasks]  # noqa: E731
+    tr = tracer if tracer is not None else NULL_TRACER
+    trace_on = tr.enabled
     sup, alive, tdead = views["sup"], views["alive"], views["tdead"]
     e1, e2, e3 = views["e1"], views["e2"], views["e3"]
     phi, hist = views["phi"], views["hist"]
@@ -409,11 +418,22 @@ def run_static_wave_peel(
         if floor + 2 > k:
             k = floor + 2
         levels += 1
+        if trace_on:
+            level_t0 = _perf()
+            level_waves = level_popped = 0
         frontier = _np.flatnonzero(alive & (sup <= k - 2))
         while frontier.size:
             waves += 1
-            max_wave = max(max_wave, int(frontier.size))
-            remaining -= int(frontier.size)
+            wave_size = int(frontier.size)
+            max_wave = max(max_wave, wave_size)
+            remaining -= wave_size
+            if trace_on:
+                wave_t0 = _perf()
+                wave_ipc0 = ipc_bytes
+                level_waves += 1
+                level_popped += wave_size
+                if metrics is not None:
+                    metrics.observe("repro_wave_frontier_edges", wave_size)
             # route: each shard is sent only the frontier edges it owns
             pieces = plan.split_sorted(frontier)
             tasks = [
@@ -429,6 +449,12 @@ def run_static_wave_peel(
                 _np.concatenate(cands)
             )
             if hit.size == 0:
+                if trace_on:
+                    tr.complete_span(
+                        "wave", _perf() - wave_t0, k=int(k),
+                        frontier=wave_size, killed=0,
+                        ipc_bytes=ipc_bytes - wave_ipc0,
+                    )
                 break
             tdead[hit] = True
             # route: each dead triangle goes to the owner shard(s) of
@@ -450,6 +476,17 @@ def run_static_wave_peel(
                 _np.concatenate(outs)
                 if outs
                 else _np.zeros(0, dtype=_np.int64)
+            )
+            if trace_on:
+                tr.complete_span(
+                    "wave", _perf() - wave_t0, k=int(k),
+                    frontier=wave_size, killed=int(hit.size),
+                    ipc_bytes=ipc_bytes - wave_ipc0,
+                )
+        if trace_on:
+            tr.complete_span(
+                "level", _perf() - level_t0, k=int(k),
+                waves=level_waves, popped=level_popped, floor=int(floor),
             )
     return phi, k, {
         "waves": waves,
@@ -511,6 +548,7 @@ def _peel_waves_shared(
     stats: DecompositionStats,
     index_storage: Optional[str] = None,
     kname: Optional[str] = None,
+    tracer=None,
 ) -> Tuple[array, int]:
     """The wave peel of ``flat``, fanned out over ``jobs`` workers.
 
@@ -530,10 +568,15 @@ def _peel_waves_shared(
     """
     mode = resolve_index_storage(index_storage)
     kern = get_kernel(kname)
+    tr = tracer if tracer is not None else NULL_TRACER
+    if tr.enabled:
+        kern = CountingKernel(kern)
     with tempfile.TemporaryDirectory(prefix="repro-triidx-") as tmp:
+        t0 = _perf()
         tri = build_triangle_index(
             csr, storage=mode, dirpath=tmp if mode != "ram" else None
         )
+        _record_index_build(tri, _perf() - t0, stats, tr)
         stats.record("index_storage", tri.storage)
         index_views = _index_views(tri)
         mutable = _mutable_arrays(tri, m)
@@ -550,6 +593,8 @@ def _peel_waves_shared(
                     _static_decrement,
                     run_map=pool.map,
                     account_ipc=True,
+                    tracer=tr,
+                    metrics=stats.metrics,
                 )
 
             def run_inline(views):
@@ -559,6 +604,8 @@ def _peel_waves_shared(
                     plan,
                     lambda t: _static_collect_views(views, t, kern),
                     lambda t: _static_decrement_views(views, t, kern),
+                    tracer=tr,
+                    metrics=stats.metrics,
                 )
         else:
             tptr, tinc = index_views["tptr"], index_views["tinc"]
@@ -579,6 +626,8 @@ def _peel_waves_shared(
                     split_hits=lambda h: _np.array_split(h, jobs),
                     run_map=pool.map,
                     account_ipc=True,
+                    tracer=tr,
+                    metrics=stats.metrics,
                 )
 
             def run_inline(views):
@@ -594,11 +643,14 @@ def _peel_waves_shared(
                         e1, e2, e3, h, views["alive"]
                     ),
                     kernel=kern,
+                    tracer=tr,
+                    metrics=stats.metrics,
                 )
 
         blocks = None
         pool = None
         try:
+            t_peel = _perf()
             if jobs > 1:
                 # the index crosses to the workers as shm blocks (ram)
                 # or as the mmapped files themselves (mmap); the
@@ -620,9 +672,15 @@ def _peel_waves_shared(
                 phi, k, wave_stats = run_inline(
                     {**index_views, **mutable}
                 )
+            peel_s = _perf() - t_peel
+            stats.record("peel_s", round(peel_s, 6))
             for key, value in wave_stats.items():
                 stats.record(key, value)
             stats.record("triangles", tri.num_triangles)
+            if tr.enabled:
+                tr.complete_span("peel", peel_s, engine="parallel",
+                                 jobs=int(jobs), shards=shards)
+                kern.flush_into(stats.metrics)
             return array("q", phi.tobytes()), k
         finally:
             if pool is not None:
@@ -638,6 +696,7 @@ def truss_decomposition_parallel(
     shards: Optional[str] = None,
     index_storage: Optional[str] = None,
     kernel: Optional[str] = None,
+    trace=None,
 ) -> TrussDecomposition:
     """Truss-decompose ``g`` with the shared-memory parallel wave peel.
 
@@ -673,20 +732,35 @@ def truss_decomposition_parallel(
     m = csr.num_edges
     stats = DecompositionStats(method="parallel")
     stats.record("shards", mode)
+    tr = trace if trace is not None else NULL_TRACER
     if _np is None or _shm is None:
         # no vectorized substrate: degrade to the stdlib flat engine
+        if tr.enabled:
+            tr.event("run_start", engine="parallel", m=int(m),
+                     shards=mode, jobs=1)
+        if m:
+            warn_degraded(tr, stats.metrics, "stdlib_fallback",
+                          engine="parallel")
         stats.record("stdlib_fallback", 1)
         stats.record("jobs", 1)
+        t0 = _perf()
         sup = _initial_supports_python(csr, m)
         eu, ev = csr.edge_endpoints()
         phi, k = _peel_wedge_bisect(csr, m, sup, eu, ev)
+        peel_s = _perf() - t0
+        stats.record("peel_s", round(peel_s, 6))
+        if tr.enabled:
+            tr.complete_span("peel", peel_s, engine="parallel")
         return result_from_phi(csr, phi, k if m else 2, stats)
     njobs = _resolve_jobs(jobs, m)
     stats.record("jobs", njobs)
     stats.record("kernel", kname)
+    if tr.enabled:
+        tr.event("run_start", engine="parallel", m=int(m), kernel=kname,
+                 jobs=int(njobs), shards=mode)
     if not m:
         return result_from_phi(csr, array("q"), 2, stats)
     phi, k = _peel_waves_shared(
-        csr, m, njobs, mode, stats, index_storage, kname
+        csr, m, njobs, mode, stats, index_storage, kname, tracer=tr
     )
     return result_from_phi(csr, phi, k, stats)

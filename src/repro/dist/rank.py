@@ -30,6 +30,7 @@ either transport.
 
 from __future__ import annotations
 
+from time import perf_counter as _perf
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.dist.checkpoint import (
@@ -39,6 +40,7 @@ from repro.dist.checkpoint import (
 from repro.dist.exchange import allgather, alltoallv
 from repro.dist.transport import DistError, Transport
 from repro.kernels import PeelKernel, get_kernel
+from repro.obs import NULL_TRACER, CountingKernel, Tracer
 from repro.partition.edge_shards import route_dead_triangles
 
 # the index class lives with its builder; re-exported here because the
@@ -78,6 +80,7 @@ class Rank:
         checkpoint_dir: Optional[str] = None,
         checkpoint_interval: int = 0,
         resume_epoch: Optional[int] = None,
+        trace: bool = False,
     ) -> None:
         if len(bounds) != size + 1:
             raise DistError(
@@ -106,6 +109,12 @@ class Rank:
         # the wave-step backend; every rank pins the name the driver
         # resolved, so one peel never mixes kernels across ranks
         self.kernel: PeelKernel = get_kernel(kernel)
+        # tracing is a bool knob, not a Tracer: ranks may be other OS
+        # processes, so each records into its own in-memory tracer and
+        # ships the events home inside the stats dict it already returns
+        self.trace = bool(trace)
+        if self.trace:
+            self.kernel = CountingKernel(self.kernel)
 
     @staticmethod
     def _local_floor(hist, floor: int) -> int:
@@ -128,6 +137,8 @@ class Rank:
         """
         tp = self.transport
         kern = self.kernel
+        trace_on = self.trace
+        tr = Tracer(sink=None) if trace_on else NULL_TRACER
         R, lo, hi = self.size, self.lo, self.hi
         mloc = hi - lo
         tri = self.tri
@@ -211,6 +222,9 @@ class Rank:
                 )
                 checkpoints += 1
                 next_ckpt = waves + interval
+                if trace_on:
+                    tr.event("checkpoint", epoch=int(levels),
+                             waves=int(waves))
             ctrl = allgather(
                 tp, (remaining, self._local_floor(hist, floor))
             )
@@ -221,6 +235,9 @@ class Rank:
             if floor + 2 > k:
                 k = floor + 2
             levels += 1
+            if trace_on:
+                level_t0 = _perf()
+                level_waves = level_popped = 0
             frontier = _np.flatnonzero(alive & (sup <= k - 2))
             while True:
                 sizes = allgather(tp, (frontier.size,))
@@ -230,6 +247,13 @@ class Rank:
                     break
                 waves += 1
                 max_wave = max(max_wave, total)
+                if trace_on:
+                    wave_t0 = _perf()
+                    wave_popped = int(frontier.size)
+                    wave_bytes0 = tp.bytes_sent
+                    wave_frames0 = tp.frames_sent
+                    level_waves += 1
+                    level_popped += wave_popped
                 # pop the owned frontier: phi/alive/hist are ours alone.
                 # The gather passes tdead=None — liveness of a triangle
                 # is decided by its hash owner, not here, so already-
@@ -271,12 +295,33 @@ class Rank:
                 frontier = kern.apply_decrements(
                     sup, hist, touched, dec, k
                 )
-        return phi, k, {
+                if trace_on:
+                    tr.complete_span(
+                        "wave", _perf() - wave_t0, k=int(k),
+                        frontier=wave_popped, killed=int(fresh.size),
+                        bytes=int(tp.bytes_sent - wave_bytes0),
+                        frames=int(tp.frames_sent - wave_frames0),
+                    )
+            if trace_on:
+                tr.complete_span(
+                    "level", _perf() - level_t0, k=int(k),
+                    waves=level_waves, popped=level_popped,
+                    floor=int(floor),
+                )
+        st = {
             "waves": waves,
             "levels": levels,
             "max_wave": max_wave,
             "exchange_rounds": exchange_rounds,
             "msg_bytes": tp.bytes_sent,
+            "msg_frames": tp.frames_sent,
             "dedupe_bytes": int(owned_dead.nbytes),
             "checkpoints": checkpoints,
         }
+        if trace_on:
+            # the homeward leg of the dist trace: events (and the
+            # kernel-op counts) ride the existing result gathering;
+            # the driver absorbs them in rank order into its own sink
+            st["trace"] = tr.drain()
+            st["kernel_ops"] = dict(kern.ops)
+        return phi, k, st

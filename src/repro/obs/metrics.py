@@ -1,0 +1,279 @@
+"""``MetricsRegistry``: counters, gauges and histograms, two expositions.
+
+One registry instance backs every
+:class:`repro.core.decomposition.DecompositionStats` — the legacy
+``stats.extra`` dict is a *derived view* over it (see
+:meth:`MetricsRegistry.as_dict`), so engines keep their existing
+``record``/``bump`` call sites while the same numbers become scrapeable
+through :meth:`to_prometheus` / :meth:`to_json`.
+
+Series model
+------------
+A series is ``(name, labels)`` where ``labels`` is a (possibly empty)
+``str -> str`` mapping.  Three instrument kinds:
+
+* **counter** — monotone float, :meth:`inc`;
+* **gauge** — set-to-value float via :meth:`set`.  A *string* value
+  turns the series into an info gauge (Prometheus "info" idiom:
+  ``name_info{value="..."} 1``) — how enum-ish stats like
+  ``index_storage="mmap"`` survive exposition;
+* **histogram** — :meth:`observe` into cumulative buckets plus
+  ``_sum``/``_count``, rendered with ``le`` labels like the Prometheus
+  client.
+
+Prometheus text exposition sanitizes names (invalid chars -> ``_``)
+and prefixes legacy short names with ``repro_`` (``waves`` ->
+``repro_waves``); names already starting with ``repro_`` pass through.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+Labels = Tuple[Tuple[str, str], ...]
+Scalar = Union[int, float, str]
+
+#: default histogram buckets: powers of ten over the frontier/byte sizes
+#: the wave peel actually produces
+DEFAULT_BUCKETS = (1, 10, 100, 1_000, 10_000, 100_000, 1_000_000)
+
+
+def _key(labels: Dict[str, Scalar]) -> Labels:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _sanitize(name: str) -> str:
+    out = [c if c.isalnum() or c in "_:" else "_" for c in name]
+    if out and out[0].isdigit():
+        out.insert(0, "_")
+    text = "".join(out) or "_"
+    return text if text.startswith("repro_") else f"repro_{text}"
+
+
+def _fmt(value: float) -> str:
+    f = float(value)
+    return str(int(f)) if f.is_integer() else repr(f)
+
+
+def _labelstr(labels: Labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+class _Histogram:
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: Tuple[float, ...]) -> None:
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * len(self.buckets)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        for i, edge in enumerate(self.buckets):
+            if value <= edge:
+                self.counts[i] += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "buckets": [
+                [edge, n] for edge, n in zip(self.buckets, self.counts)
+            ],
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms with two exposition formats."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Dict[Labels, float]] = {}
+        self._gauges: Dict[str, Dict[Labels, float]] = {}
+        self._infos: Dict[str, Dict[Labels, str]] = {}
+        self._hists: Dict[str, Dict[Labels, _Histogram]] = {}
+
+    # -------------------------------------------------------- instruments
+    def inc(self, name: str, value: float = 1, **labels: Scalar) -> None:
+        """Add ``value`` to the counter series ``(name, labels)``."""
+        series = self._counters.setdefault(name, {})
+        key = _key(labels)
+        series[key] = series.get(key, 0) + value
+
+    def set(self, name: str, value: Scalar, **labels: Scalar) -> None:
+        """Set the gauge series; a ``str`` value makes it an info gauge."""
+        key = _key(labels)
+        give, take = (
+            (self._gauges, self._infos)
+            if isinstance(value, str)
+            else (self._infos, self._gauges)
+        )
+        old = give.get(name)
+        if old is not None:
+            old.pop(key, None)
+            if not old:  # no empty series left to emit TYPE lines for
+                del give[name]
+        take.setdefault(name, {})[key] = value
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Scalar,
+    ) -> None:
+        """Record ``value`` into the histogram series ``(name, labels)``."""
+        series = self._hists.setdefault(name, {})
+        key = _key(labels)
+        hist = series.get(key)
+        if hist is None:
+            hist = series[key] = _Histogram(buckets)
+        hist.observe(value)
+
+    # --------------------------------------------------------------- reads
+    def value(self, name: str, **labels: Scalar) -> Optional[Scalar]:
+        """Current value of a counter/gauge/info series (``None``: unset)."""
+        key = _key(labels)
+        for store in (self._counters, self._gauges, self._infos):
+            series = store.get(name)
+            if series is not None and key in series:
+                return series[key]
+        return None
+
+    def counter_items(self) -> Iterator[Tuple[str, Dict[str, str], float]]:
+        """Every counter series as ``(name, labels, value)`` — merge feed."""
+        for name, series in self._counters.items():
+            for key, value in series.items():
+                yield name, dict(key), value
+
+    def as_dict(self) -> Dict[str, Scalar]:
+        """Flat ``name -> value`` snapshot — the legacy ``extra`` view.
+
+        Unlabeled series keep their bare name; labeled series render as
+        ``name{k=v,...}``.  Histograms contribute ``name_count`` /
+        ``name_sum``.  The dict is freshly built each call: mutating it
+        does not touch the registry.
+        """
+        out: Dict[str, Scalar] = {}
+        for store in (self._counters, self._gauges, self._infos):
+            for name, series in store.items():
+                for key, value in series.items():
+                    label = ",".join(f"{k}={v}" for k, v in key)
+                    out[f"{name}{{{label}}}" if label else name] = value
+        for name, series in self._hists.items():
+            for key, hist in series.items():
+                label = ",".join(f"{k}={v}" for k, v in key)
+                suffix = f"{{{label}}}" if label else ""
+                out[f"{name}_count{suffix}"] = hist.count
+                out[f"{name}_sum{suffix}"] = hist.total
+        return out
+
+    # --------------------------------------------------------- expositions
+    def to_json(self) -> Dict[str, object]:
+        """Structured JSON exposition: one object per instrument kind."""
+
+        def flat(store):
+            return {
+                name: {_labelstr(key) or "": value
+                       for key, value in series.items()}
+                for name, series in store.items()
+            }
+
+        return {
+            "counters": flat(self._counters),
+            "gauges": flat(self._gauges),
+            "info": flat(self._infos),
+            "histograms": {
+                name: {_labelstr(key) or "": hist.snapshot()
+                       for key, hist in series.items()}
+                for name, series in self._hists.items()
+            },
+        }
+
+    def to_prometheus(self) -> str:
+        """Prometheus text-format exposition (version 0.0.4)."""
+        lines: List[str] = []
+        for name in sorted(self._counters):
+            metric = _sanitize(name)
+            if not metric.endswith("_total"):
+                metric += "_total"
+            lines.append(f"# TYPE {metric} counter")
+            for key, value in sorted(self._counters[name].items()):
+                lines.append(f"{metric}{_labelstr(key)} {_fmt(value)}")
+        for name in sorted(self._gauges):
+            metric = _sanitize(name)
+            lines.append(f"# TYPE {metric} gauge")
+            for key, value in sorted(self._gauges[name].items()):
+                lines.append(f"{metric}{_labelstr(key)} {_fmt(value)}")
+        for name in sorted(self._infos):
+            metric = _sanitize(name) + "_info"
+            lines.append(f"# TYPE {metric} gauge")
+            for key, value in sorted(self._infos[name].items()):
+                labels = key + (("value", value),)
+                lines.append(f"{metric}{_labelstr(labels)} 1")
+        for name in sorted(self._hists):
+            metric = _sanitize(name)
+            lines.append(f"# TYPE {metric} histogram")
+            for key, hist in sorted(self._hists[name].items()):
+                for edge, n in zip(hist.buckets, hist.counts):
+                    labels = key + (("le", _fmt(edge)),)
+                    lines.append(
+                        f"{metric}_bucket{_labelstr(labels)} {n}"
+                    )
+                inf = key + (("le", "+Inf"),)
+                lines.append(
+                    f"{metric}_bucket{_labelstr(inf)} {hist.count}"
+                )
+                lines.append(
+                    f"{metric}_sum{_labelstr(key)} {_fmt(hist.total)}"
+                )
+                lines.append(f"{metric}_count{_labelstr(key)} {hist.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class CountingKernel:
+    """A :class:`~repro.kernels.PeelKernel` wrapper counting op calls.
+
+    Applied by the engines only when tracing is enabled, so the
+    tracing-off hot path never pays the indirection.  ``ops`` holds the
+    per-op call counts; engines fold it into
+    ``repro_kernel_ops_total{op=...}`` after the peel (ranks ship it
+    back to the driver inside their stats dict first).
+    """
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.name = inner.name
+        self.ops: Dict[str, int] = {}
+
+    def _count(self, op: str) -> None:
+        self.ops[op] = self.ops.get(op, 0) + 1
+
+    def pop_frontier(self, *args, **kwargs):
+        self._count("pop_frontier")
+        return self._inner.pop_frontier(*args, **kwargs)
+
+    def gather_incident(self, *args, **kwargs):
+        self._count("gather_incident")
+        return self._inner.gather_incident(*args, **kwargs)
+
+    def count_decrements(self, *args, **kwargs):
+        self._count("count_decrements")
+        return self._inner.count_decrements(*args, **kwargs)
+
+    def apply_decrements(self, *args, **kwargs):
+        self._count("apply_decrements")
+        return self._inner.apply_decrements(*args, **kwargs)
+
+    def merge_decrements(self, *args, **kwargs):
+        self._count("merge_decrements")
+        return self._inner.merge_decrements(*args, **kwargs)
+
+    def flush_into(self, metrics: MetricsRegistry) -> None:
+        """Fold the collected counts into ``repro_kernel_ops_total``."""
+        for op, n in self.ops.items():
+            metrics.inc("repro_kernel_ops_total", n, op=op)

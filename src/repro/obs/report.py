@@ -1,0 +1,229 @@
+"""Render a trace file as a wave-timeline report.
+
+:func:`load_trace` parses and schema-validates a JSONL trace;
+:func:`render_report` turns the events into the tables ``repro
+trace-report`` prints:
+
+* a **phase breakdown** (index build vs peel vs repair wall time, from
+  the phase spans);
+* a **per-level timeline** aggregated from the ``wave`` spans — time
+  per level, frontier decay (edges popped, largest wave), bytes moved
+  per level (IPC or transport, whichever the engine reports);
+* a **per-rank skew table** when the trace carries dist rank streams —
+  per-rank busy time, popped edges and exchanged bytes, plus each
+  rank's share of the slowest rank's busy time;
+* every **warning-level event** (the degradation paths), verbatim.
+
+The renderer only assumes the schema of :mod:`repro.obs.schema`; traces
+from any engine — or merged from many ranks — render with the same
+code path.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.schema import validate_event
+
+#: phase spans summed into the breakdown line, in display order
+PHASES = ("index_build", "peel", "repair", "decompose")
+
+
+def load_trace(path) -> List[dict]:
+    """Parse a JSONL trace file, validating every event.
+
+    Raises ``ValueError`` naming the offending line on malformed JSON
+    or a schema violation.
+    """
+    events: List[dict] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from None
+            try:
+                validate_event(obj)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+            events.append(obj)
+    return events
+
+
+def phase_durations(events: Sequence[dict]) -> Dict[str, float]:
+    """Total seconds per phase span name, for names in :data:`PHASES`."""
+    out: Dict[str, float] = {}
+    for e in events:
+        if e["kind"] == "span" and e["name"] in PHASES:
+            out[e["name"]] = out.get(e["name"], 0.0) + float(e["dur"])
+    return out
+
+
+def _wave_spans(events: Sequence[dict]) -> List[dict]:
+    return [e for e in events if e["kind"] == "span" and e["name"] == "wave"]
+
+
+def level_rows(events: Sequence[dict]) -> List[Tuple]:
+    """Aggregate wave spans by level ``k``.
+
+    Returns rows ``(k, waves, popped, max_wave, seconds, bytes)``.
+    With per-rank streams, a level's waves run concurrently across
+    ranks, so its wall time is the *maximum* per-rank busy time at that
+    level (popped/bytes still sum — work and traffic are additive).
+    """
+    per_k: Dict[int, Dict] = {}
+    for e in _wave_spans(events):
+        attrs = e.get("attrs", {})
+        k = int(attrs.get("k", 0))
+        row = per_k.setdefault(
+            k, {"waves": 0, "popped": 0, "max": 0, "bytes": 0, "busy": {}}
+        )
+        rank = e.get("rank", 0)
+        frontier = int(attrs.get("frontier", 0))
+        row["waves"] += 1
+        row["popped"] += frontier
+        row["max"] = max(row["max"], frontier)
+        row["bytes"] += int(attrs.get("bytes", attrs.get("ipc_bytes", 0)))
+        row["busy"][rank] = row["busy"].get(rank, 0.0) + float(e["dur"])
+    return [
+        (
+            k,
+            row["waves"],
+            row["popped"],
+            row["max"],
+            max(row["busy"].values(), default=0.0),
+            row["bytes"],
+        )
+        for k, row in sorted(per_k.items())
+    ]
+
+
+def rank_rows(events: Sequence[dict]) -> List[Tuple]:
+    """Per-rank skew rows ``(rank, waves, popped, seconds, bytes, share)``.
+
+    Empty when no event carries a ``rank`` field (non-dist traces).
+    ``share`` is this rank's busy time over the slowest rank's — the
+    straggler diagnostic.
+    """
+    per_rank: Dict[int, Dict] = {}
+    for e in _wave_spans(events):
+        if "rank" not in e:
+            continue
+        attrs = e.get("attrs", {})
+        row = per_rank.setdefault(
+            e["rank"], {"waves": 0, "popped": 0, "busy": 0.0, "bytes": 0}
+        )
+        row["waves"] += 1
+        row["popped"] += int(attrs.get("frontier", 0))
+        row["busy"] += float(e["dur"])
+        row["bytes"] += int(attrs.get("bytes", attrs.get("ipc_bytes", 0)))
+    if not per_rank:
+        return []
+    slowest = max(row["busy"] for row in per_rank.values()) or 1.0
+    return [
+        (
+            rank,
+            row["waves"],
+            row["popped"],
+            row["busy"],
+            row["bytes"],
+            row["busy"] / slowest,
+        )
+        for rank, row in sorted(per_rank.items())
+    ]
+
+
+def warnings_of(events: Sequence[dict]) -> List[dict]:
+    """Every warning-level event, in trace order."""
+    return [e for e in events if e.get("level") == "warning"]
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence]) -> List[str]:
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([
+            f"{v:.4f}" if isinstance(v, float) else f"{v:,}"
+            if isinstance(v, int) else str(v)
+            for v in row
+        ])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return lines
+
+
+def render_report(events: Sequence[dict], source: Optional[str] = None) -> str:
+    """The full human-readable report for a validated event list."""
+    lines: List[str] = []
+    runs = [e for e in events if e["name"] == "run_start"]
+    engines = sorted({e.get("attrs", {}).get("engine", "?") for e in runs})
+    head = f"trace: {len(events):,} events"
+    if source:
+        head += f" from {source}"
+    if engines:
+        head += f" (engine: {', '.join(str(x) for x in engines)})"
+    lines.append(head)
+    phases = phase_durations(events)
+    if phases:
+        lines.append("phases: " + "  ".join(
+            f"{name} {phases[name]:.4f}s"
+            for name in PHASES if name in phases
+        ))
+    warns = warnings_of(events)
+    if warns:
+        lines.append("")
+        lines.append(f"warnings ({len(warns)}):")
+        for e in warns:
+            attrs = e.get("attrs", {})
+            detail = " ".join(f"{k}={v}" for k, v in attrs.items())
+            rank = f" rank={e['rank']}" if "rank" in e else ""
+            lines.append(f"  [{e['ts']:.4f}s]{rank} {e['name']}: {detail}")
+    levels = level_rows(events)
+    if levels:
+        lines.append("")
+        lines.append("per-level timeline (frontier decay):")
+        lines.extend(_table(
+            ("k", "waves", "popped", "max wave", "time (s)", "bytes"),
+            levels,
+        ))
+    ranks = rank_rows(events)
+    if ranks:
+        lines.append("")
+        lines.append("per-rank skew:")
+        lines.extend(_table(
+            ("rank", "waves", "popped", "busy (s)", "bytes", "share"),
+            [(r, w, p, b, by, f"{s:.2f}") for r, w, p, b, by, s in ranks],
+        ))
+    repairs = [
+        e for e in events if e["kind"] == "span" and e["name"] == "repair"
+    ]
+    if repairs:
+        lines.append("")
+        lines.append("repairs (stream):")
+        lines.extend(_table(
+            ("#", "updates", "region", "frozen", "time (s)", "truncated"),
+            [
+                (
+                    i + 1,
+                    int(e.get("attrs", {}).get("updates", 0)),
+                    int(e.get("attrs", {}).get("region", 0)),
+                    int(e.get("attrs", {}).get("frozen", 0)),
+                    float(e["dur"]),
+                    str(bool(e.get("attrs", {}).get("truncated", False))),
+                )
+                for i, e in enumerate(repairs)
+            ],
+        ))
+    return "\n".join(lines) + "\n"
+
+
+def render_trace_report(path) -> str:
+    """Load, validate and render ``path`` in one call (the CLI's body)."""
+    return render_report(load_trace(path), source=str(path))

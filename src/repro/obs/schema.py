@@ -1,0 +1,86 @@
+"""The one trace-event schema every engine emits.
+
+A trace is JSONL: one JSON object per line, every object validated by
+:func:`validate_event`.  Top-level keys (no others are allowed):
+
+========  ========  ====================================================
+key       type      meaning
+========  ========  ====================================================
+``ts``    number    seconds since the emitting tracer's construction
+                    (``perf_counter``-based; comparable within one
+                    ``rank`` stream, not across streams)
+``kind``  str       ``"span"`` (timed phase) or ``"event"`` (instant)
+``name``  str       event name from the catalogue in :mod:`repro.obs`
+``dur``   number    span duration in seconds — required for spans,
+                    forbidden for events
+``level`` str       ``"info"`` (default, may be omitted) or
+                    ``"warning"`` (degradation paths)
+``rank``  int       producing dist rank; added by the driver-side merge
+``attrs`` object    flat ``str -> str|int|float|bool|null`` payload
+========  ========  ====================================================
+
+The schema is deliberately engine-agnostic: ``repro decompose --method
+flat|parallel|dist --trace`` and ``repro update --trace`` all emit
+records this module validates, which is what the round-trip tests and
+``repro trace-report`` rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: bumped when the event layout changes incompatibly
+TRACE_SCHEMA_VERSION = 1
+
+KINDS: Tuple[str, ...] = ("span", "event")
+LEVELS: Tuple[str, ...] = ("info", "warning")
+
+_ALLOWED_KEYS = frozenset(("ts", "kind", "name", "dur", "level", "rank",
+                           "attrs"))
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def validate_event(obj) -> None:
+    """Raise ``ValueError`` unless ``obj`` is a schema-valid event."""
+    if not isinstance(obj, dict):
+        raise ValueError(f"event must be an object, got {type(obj).__name__}")
+    unknown = set(obj) - _ALLOWED_KEYS
+    if unknown:
+        raise ValueError(f"unknown event keys: {sorted(unknown)}")
+    ts = obj.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+        raise ValueError(f"ts must be a non-negative number, got {ts!r}")
+    kind = obj.get("kind")
+    if kind not in KINDS:
+        raise ValueError(f"kind must be one of {KINDS}, got {kind!r}")
+    name = obj.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"name must be a non-empty string, got {name!r}")
+    dur = obj.get("dur")
+    if kind == "span":
+        if not isinstance(dur, (int, float)) or isinstance(dur, bool) \
+                or dur < 0:
+            raise ValueError(
+                f"span {name!r} needs a non-negative dur, got {dur!r}"
+            )
+    elif dur is not None:
+        raise ValueError(f"event {name!r} must not carry dur")
+    level = obj.get("level", "info")
+    if level not in LEVELS:
+        raise ValueError(f"level must be one of {LEVELS}, got {level!r}")
+    rank = obj.get("rank")
+    if rank is not None and (not isinstance(rank, int)
+                             or isinstance(rank, bool) or rank < 0):
+        raise ValueError(f"rank must be a non-negative int, got {rank!r}")
+    attrs = obj.get("attrs")
+    if attrs is None:
+        return
+    if not isinstance(attrs, dict):
+        raise ValueError(f"attrs must be an object, got {type(attrs).__name__}")
+    for key, value in attrs.items():
+        if not isinstance(key, str):
+            raise ValueError(f"attr keys must be strings, got {key!r}")
+        if not isinstance(value, _SCALARS):
+            raise ValueError(
+                f"attr {key!r} must be a scalar, got {type(value).__name__}"
+            )

@@ -1,0 +1,232 @@
+"""Structured tracing: spans and events onto a JSONL sink.
+
+Two implementations of one interface:
+
+* :class:`Tracer` — monotonic-clock timestamps relative to tracer
+  construction, buffered line-at-a-time JSONL writes (or an in-memory
+  recording mode used by the dist ranks, whose events travel back to
+  the driver inside the result-gathering stats dict and are absorbed
+  into the driver's file tracer);
+* :class:`NullTracer` — the zero-allocation default.  Engines guard
+  every hot-path emission with ``if tracer.enabled:``, so a run without
+  ``--trace`` pays exactly one attribute check per guard and never
+  builds an event dict.
+
+The event schema both emit is defined and validated in
+:mod:`repro.obs.schema`; the catalogue of event names lives in the
+:mod:`repro.obs` package docstring.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Iterable, List, Optional
+
+
+class NullTracer:
+    """The do-nothing tracer: one attribute check, no allocation."""
+
+    __slots__ = ()
+    enabled = False
+
+    def now(self) -> float:
+        return 0.0
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def warn(self, name: str, **attrs) -> None:
+        pass
+
+    def complete_span(self, name: str, seconds: float, **attrs) -> None:
+        pass
+
+    def absorb(self, events, rank: Optional[int] = None) -> None:
+        pass
+
+    def drain(self) -> List[dict]:
+        return []
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullTracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+#: the shared default — engines use it whenever no tracer is passed
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """Context manager emitted by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._tracer.complete_span(
+            self._name, time.perf_counter() - self._t0, **self._attrs
+        )
+
+
+class Tracer:
+    """Span/event emitter over a JSONL sink.
+
+    ``sink`` is a path (``str``/``Path``: opened and owned, closed by
+    :meth:`close`), an open text file object (borrowed, flushed but
+    never closed), or ``None`` for the in-memory recording mode whose
+    events are retrieved with :meth:`drain` — how dist ranks trace
+    without a filesystem rendezvous.
+
+    Timestamps (``ts``) are seconds since tracer construction on
+    ``time.perf_counter``; events absorbed from another process keep
+    *that process's* clock base (documented in the schema: ``ts`` is
+    comparable within one ``rank`` stream, not across streams).
+    """
+
+    enabled = True
+
+    def __init__(self, sink=None, *, flush_every: int = 256) -> None:
+        self._t0 = time.perf_counter()
+        self._flush_every = max(1, int(flush_every))
+        self._buffer: List[str] = []
+        self._events: Optional[List[dict]] = None
+        self._fh = None
+        self._owns_fh = False
+        if sink is None:
+            self._events = []
+        elif hasattr(sink, "write"):
+            self._fh = sink
+        else:
+            self._fh = open(sink, "w", encoding="utf-8")
+            self._owns_fh = True
+
+    # ------------------------------------------------------------- emission
+    def now(self) -> float:
+        """Seconds since tracer construction (monotonic)."""
+        return time.perf_counter() - self._t0
+
+    def _emit(self, record: dict) -> None:
+        if self._events is not None:
+            self._events.append(record)
+            return
+        self._buffer.append(json.dumps(record, separators=(",", ":")))
+        if len(self._buffer) >= self._flush_every:
+            self.flush()
+
+    def event(self, name: str, **attrs) -> None:
+        """Emit a point-in-time event (``kind="event"``)."""
+        record: Dict[str, object] = {
+            "ts": round(self.now(), 6), "kind": "event", "name": name,
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._emit(record)
+
+    def warn(self, name: str, **attrs) -> None:
+        """Emit a warning-level event (degradation paths use this)."""
+        record: Dict[str, object] = {
+            "ts": round(self.now(), 6), "kind": "event", "name": name,
+            "level": "warning",
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._emit(record)
+
+    def complete_span(self, name: str, seconds: float, **attrs) -> None:
+        """Emit an already-timed span ending now, ``seconds`` long.
+
+        The hot-path form: engines time phases with their own
+        ``perf_counter`` deltas and report the duration in one call
+        instead of holding a context manager open across the loop.
+        """
+        end = self.now()
+        record: Dict[str, object] = {
+            "ts": round(max(end - seconds, 0.0), 6),
+            "kind": "span",
+            "name": name,
+            "dur": round(max(seconds, 0.0), 6),
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._emit(record)
+
+    def span(self, name: str, **attrs) -> _Span:
+        """Context manager timing its body into a span event."""
+        return _Span(self, name, attrs)
+
+    def absorb(
+        self, events: Iterable[dict], rank: Optional[int] = None
+    ) -> None:
+        """Append pre-built event records, tagging each with ``rank``.
+
+        The driver-side merge of per-rank recording tracers: events are
+        written in the order given, so absorbing rank 0's stream before
+        rank 1's yields the documented driver-ordered trace.
+        """
+        for record in events:
+            if rank is not None:
+                record = {**record, "rank": rank}
+            self._emit(record)
+
+    # ------------------------------------------------------------ lifecycle
+    def drain(self) -> List[dict]:
+        """Return and clear the recorded events (in-memory mode only)."""
+        if self._events is None:
+            return []
+        out = self._events
+        self._events = []
+        return out
+
+    def flush(self) -> None:
+        if self._fh is not None and self._buffer:
+            self._fh.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+            self._fh.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if self._owns_fh and self._fh is not None:
+            self._fh.close()
+            self._fh = None
+            self._owns_fh = False
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_tracer(trace=None, trace_path=None):
+    """Resolve the ``trace=`` / ``trace_path=`` API knobs.
+
+    Returns ``(tracer, owned)`` — ``owned`` means the caller must
+    :meth:`~Tracer.close` it when done.  ``trace`` (a ready
+    :class:`Tracer`) and ``trace_path`` (a file path this function
+    opens) are mutually exclusive; with neither, the shared
+    :data:`NULL_TRACER` is returned.
+    """
+    if trace is not None and trace_path is not None:
+        raise ValueError("pass either trace= or trace_path=, not both")
+    if trace is not None:
+        return trace, False
+    if trace_path is not None:
+        return Tracer(trace_path), True
+    return NULL_TRACER, False

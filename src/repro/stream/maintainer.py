@@ -18,6 +18,7 @@ local re-peel builds its own dense positional ids per repair.
 from __future__ import annotations
 
 from bisect import bisect_left, insort
+from time import perf_counter as _perf
 from types import MappingProxyType
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
@@ -25,6 +26,7 @@ from repro.core.decomposition import DecompositionStats, TrussDecomposition
 from repro.core.flat import _as_csr, initial_supports, truss_decomposition_flat
 from repro.errors import DecompositionError
 from repro.graph.csr import CSRGraph
+from repro.obs import NULL_TRACER, warn_degraded
 from repro.stream.affected import canon, common_neighbors, expand_region
 from repro.stream.repeel import repeel_region
 
@@ -57,23 +59,32 @@ class TrussMaintainer:
         phi: Dict[Edge, int],
         sup: Dict[Edge, int],
         kernel: Optional[str] = None,
+        trace=None,
     ) -> None:
         self._adj = adj  # vertex -> sorted neighbor list
         self._phi = phi  # canonical edge -> trussness
         self._sup = sup  # canonical edge -> support (common-neighbor count)
         self._kernel = kernel
+        self._tracer = trace if trace is not None else NULL_TRACER
         self._last_affected: Tuple[Edge, ...] = ()
         self.stats = DecompositionStats(method="stream")
 
     @classmethod
-    def from_graph(cls, g, kernel: Optional[str] = None) -> "TrussMaintainer":
-        """Decompose ``g`` (a :class:`Graph` or CSR snapshot) once."""
+    def from_graph(
+        cls, g, kernel: Optional[str] = None, trace=None
+    ) -> "TrussMaintainer":
+        """Decompose ``g`` (a :class:`Graph` or CSR snapshot) once.
+
+        ``trace`` takes an enabled :class:`repro.obs.Tracer`: the
+        seeding decomposition and every subsequent repair emit their
+        spans (and degradation warnings) into it.
+        """
         csr = _as_csr(g)
         adj: Dict[int, List[int]] = {}
         phi: Dict[Edge, int] = {}
         sup: Dict[Edge, int] = {}
         if csr.num_edges:
-            td = truss_decomposition_flat(csr, kernel=kernel)
+            td = truss_decomposition_flat(csr, kernel=kernel, trace=trace)
             phi.update(td.trussness)
             raw = initial_supports(csr)
             labels = csr.labels
@@ -86,7 +97,7 @@ class TrussMaintainer:
                 adj.setdefault(b, []).append(a)
             for lst in adj.values():
                 lst.sort()
-        return cls(adj, phi, sup, kernel=kernel)
+        return cls(adj, phi, sup, kernel=kernel, trace=trace)
 
     # ------------------------------------------------------------- views
     @property
@@ -222,6 +233,8 @@ class TrussMaintainer:
                     queue.append(x)
 
     def _repair(self, infos: List[_Info], slack: int) -> None:
+        tr = self._tracer
+        t0 = _perf() if tr.enabled else 0.0
         region: Set[Edge] = set()
         queue: List[Edge] = []
         for kind, e, tris, le in infos:
@@ -245,11 +258,27 @@ class TrussMaintainer:
         self.stats.bump("repairs")
         self.stats.bump("affected_edges", len(region_edges))
         if truncated:
+            warn_degraded(
+                tr, self.stats.metrics, "stream_full_repeel",
+                region=len(region_edges), cap=cap,
+                updates=len(infos),
+            )
             self._full_repeel()
             self._last_affected = tuple(sorted(self._sup))
             self.stats.bump("full_repeels")
+            if tr.enabled:
+                tr.complete_span(
+                    "repair", _perf() - t0, updates=len(infos),
+                    region=len(region_edges), frozen=0, triangles=0,
+                    truncated=True,
+                )
             return
         if not region_edges:
+            if tr.enabled:
+                tr.complete_span(
+                    "repair", _perf() - t0, updates=len(infos),
+                    region=0, frozen=0, triangles=0, truncated=False,
+                )
             return
         # local problem: region edges get dense ids 0..n-1, frozen
         # boundary edges (old phi kept, by containment) follow
@@ -285,3 +314,9 @@ class TrussMaintainer:
         )
         for i, e in enumerate(region_edges):
             self._phi[e] = int(phi_new[i])
+        if tr.enabled:
+            tr.complete_span(
+                "repair", _perf() - t0, updates=len(infos),
+                region=len(region_edges), frozen=len(frozen_phi),
+                triangles=len(tris_local), truncated=False,
+            )

@@ -1,0 +1,173 @@
+"""MetricsRegistry instruments and expositions, stdlib-only."""
+
+import json
+
+import pytest
+
+from repro.obs import CountingKernel, MetricsRegistry
+
+
+# ------------------------------------------------------------ instruments
+def test_counter_accumulates_per_label_set():
+    reg = MetricsRegistry()
+    reg.inc("repro_degraded_total", path="dist_retry")
+    reg.inc("repro_degraded_total", 2, path="dist_retry")
+    reg.inc("repro_degraded_total", path="stdlib_fallback")
+    assert reg.value("repro_degraded_total", path="dist_retry") == 3
+    assert reg.value("repro_degraded_total", path="stdlib_fallback") == 1
+    assert reg.value("repro_degraded_total", path="nope") is None
+
+
+def test_gauge_set_overwrites():
+    reg = MetricsRegistry()
+    reg.set("peel_s", 0.5)
+    reg.set("peel_s", 0.25)
+    assert reg.value("peel_s") == 0.25
+
+
+def test_string_gauge_becomes_info_series():
+    reg = MetricsRegistry()
+    reg.set("index_storage", "mmap")
+    assert reg.value("index_storage") == "mmap"
+    text = reg.to_prometheus()
+    assert 'repro_index_storage_info{value="mmap"} 1' in text
+    # numeric overwrite moves the series back to a plain gauge
+    reg.set("index_storage", 3)
+    assert reg.value("index_storage") == 3
+    assert "index_storage_info" not in reg.to_prometheus()
+
+
+def test_histogram_buckets_are_cumulative():
+    reg = MetricsRegistry()
+    for v in (1, 5, 500, 2_000_000):
+        reg.observe("repro_wave_frontier_edges", v)
+    snap = reg.to_json()["histograms"]["repro_wave_frontier_edges"][""]
+    assert snap["count"] == 4
+    assert snap["sum"] == 2_000_506
+    by_edge = dict(tuple(b) for b in snap["buckets"])
+    assert by_edge[1] == 1       # <= 1
+    assert by_edge[10] == 2      # <= 10
+    assert by_edge[1_000] == 3   # <= 1000
+    assert by_edge[1_000_000] == 3  # the 2M observation overflows
+
+
+def test_counter_items_yields_merge_feed():
+    reg = MetricsRegistry()
+    reg.inc("repro_kernel_ops_total", 4, op="pop_frontier")
+    reg.inc("repro_kernel_ops_total", 2, op="apply_decrements")
+    items = sorted(reg.counter_items(), key=lambda t: t[1]["op"])
+    assert items == [
+        ("repro_kernel_ops_total", {"op": "apply_decrements"}, 2),
+        ("repro_kernel_ops_total", {"op": "pop_frontier"}, 4),
+    ]
+
+
+# ----------------------------------------------------------- as_dict view
+def test_as_dict_is_the_legacy_extra_shape():
+    reg = MetricsRegistry()
+    reg.set("waves", 7)
+    reg.set("method", "flat")
+    reg.inc("repro_degraded_total", path="stream_full_repeel")
+    reg.observe("repro_wave_frontier_edges", 100)
+    d = reg.as_dict()
+    assert d["waves"] == 7
+    assert d["method"] == "flat"
+    assert d["repro_degraded_total{path=stream_full_repeel}"] == 1
+    assert d["repro_wave_frontier_edges_count"] == 1
+    assert d["repro_wave_frontier_edges_sum"] == 100
+    # a fresh dict each call: mutating it never touches the registry
+    d["waves"] = 99
+    assert reg.as_dict()["waves"] == 7
+
+
+# ------------------------------------------------------------ expositions
+def test_prometheus_exposition_format():
+    reg = MetricsRegistry()
+    reg.inc("repro_degraded_total", path="dist_retry")
+    reg.set("waves", 12)
+    reg.observe("frontier", 5, buckets=(10, 100))
+    text = reg.to_prometheus()
+    assert "# TYPE repro_degraded_total counter" in text
+    assert 'repro_degraded_total{path="dist_retry"} 1' in text
+    # legacy short names get the repro_ prefix; counters get _total
+    assert "# TYPE repro_waves gauge" in text
+    assert "repro_waves 12" in text
+    assert 'repro_frontier_bucket{le="10"} 1' in text
+    assert 'repro_frontier_bucket{le="+Inf"} 1' in text
+    assert "repro_frontier_sum 5" in text
+    assert "repro_frontier_count 1" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_sanitizes_hostile_names():
+    reg = MetricsRegistry()
+    reg.set("b/wave (avg)", 3)
+    text = reg.to_prometheus()
+    assert "repro_b_wave__avg_ 3" in text
+
+
+def test_json_exposition_round_trips():
+    reg = MetricsRegistry()
+    reg.inc("repro_kernel_ops_total", 2, op="pop_frontier")
+    reg.set("kmax", 5)
+    reg.set("method", "dist")
+    doc = json.loads(json.dumps(reg.to_json()))
+    assert doc["counters"]["repro_kernel_ops_total"]['{op="pop_frontier"}'] == 2
+    assert doc["gauges"]["kmax"][""] == 5
+    assert doc["info"]["method"][""] == "dist"
+
+
+def test_empty_registry_expositions():
+    reg = MetricsRegistry()
+    assert reg.to_prometheus() == ""
+    assert reg.as_dict() == {}
+    assert all(not v for v in reg.to_json().values())
+
+
+# -------------------------------------------------------- CountingKernel
+class _FakeKernel:
+    name = "fake"
+
+    def pop_frontier(self, *a):
+        return "popped"
+
+    def gather_incident(self, *a):
+        return "gathered"
+
+    def count_decrements(self, *a, **kw):
+        return "counted"
+
+    def apply_decrements(self, *a):
+        return "applied"
+
+    def merge_decrements(self, *a):
+        return "merged"
+
+
+def test_counting_kernel_proxies_and_counts():
+    kern = CountingKernel(_FakeKernel())
+    assert kern.name == "fake"
+    assert kern.pop_frontier() == "popped"
+    assert kern.pop_frontier() == "popped"
+    assert kern.gather_incident() == "gathered"
+    assert kern.count_decrements(lo=0) == "counted"
+    assert kern.apply_decrements() == "applied"
+    assert kern.merge_decrements() == "merged"
+    assert kern.ops == {
+        "pop_frontier": 2,
+        "gather_incident": 1,
+        "count_decrements": 1,
+        "apply_decrements": 1,
+        "merge_decrements": 1,
+    }
+
+
+def test_counting_kernel_flush_into_registry():
+    kern = CountingKernel(_FakeKernel())
+    kern.pop_frontier()
+    kern.pop_frontier()
+    kern.apply_decrements()
+    reg = MetricsRegistry()
+    kern.flush_into(reg)
+    assert reg.value("repro_kernel_ops_total", op="pop_frontier") == 2
+    assert reg.value("repro_kernel_ops_total", op="apply_decrements") == 1

@@ -1,0 +1,136 @@
+"""The trace-report renderer on synthetic traces, stdlib-only."""
+
+import json
+
+import pytest
+
+from repro.obs.report import (
+    level_rows,
+    load_trace,
+    phase_durations,
+    rank_rows,
+    render_report,
+    render_trace_report,
+    warnings_of,
+)
+
+#: a hand-built dist-shaped trace: driver spans, two rank streams, one
+#: degradation warning — every renderer section lights up
+DIST_EVENTS = [
+    {"ts": 0.0, "kind": "event", "name": "run_start",
+     "attrs": {"engine": "dist", "m": 100, "ranks": 2}},
+    {"ts": 0.0, "kind": "span", "name": "index_build", "dur": 0.5,
+     "attrs": {"storage": "ram", "triangles": 40}},
+    {"ts": 0.5, "kind": "span", "name": "peel", "dur": 1.0,
+     "attrs": {"engine": "dist", "ranks": 2}},
+    {"ts": 0.1, "kind": "span", "name": "wave", "dur": 0.2, "rank": 0,
+     "attrs": {"k": 3, "frontier": 30, "killed": 25, "bytes": 64}},
+    {"ts": 0.3, "kind": "span", "name": "wave", "dur": 0.1, "rank": 0,
+     "attrs": {"k": 4, "frontier": 10, "killed": 10, "bytes": 16}},
+    {"ts": 0.2, "kind": "event", "name": "checkpoint", "rank": 0,
+     "attrs": {"epoch": 1, "waves": 1}},
+    {"ts": 0.1, "kind": "span", "name": "wave", "dur": 0.4, "rank": 1,
+     "attrs": {"k": 3, "frontier": 50, "killed": 45, "bytes": 128}},
+    {"ts": 0.6, "kind": "event", "name": "degraded", "level": "warning",
+     "attrs": {"path": "dist_retry", "attempt": 1}},
+]
+
+
+def test_phase_durations_sums_phase_spans():
+    phases = phase_durations(DIST_EVENTS)
+    assert phases == {"index_build": 0.5, "peel": 1.0}
+
+
+def test_level_rows_aggregate_by_k():
+    rows = level_rows(DIST_EVENTS)
+    assert [r[0] for r in rows] == [3, 4]
+    k3 = rows[0]
+    # waves sum across ranks; popped and bytes are additive
+    assert k3[1] == 2
+    assert k3[2] == 80
+    assert k3[3] == 50  # max single wave
+    # concurrent ranks: level wall time is the max per-rank busy time
+    assert k3[4] == pytest.approx(0.4)
+    assert k3[5] == 192
+
+
+def test_rank_rows_share_of_slowest():
+    rows = rank_rows(DIST_EVENTS)
+    assert [r[0] for r in rows] == [0, 1]
+    r0, r1 = rows
+    assert r0[1] == 2 and r1[1] == 1  # waves
+    assert r0[3] == pytest.approx(0.3)  # busy seconds
+    assert r1[3] == pytest.approx(0.4)
+    assert r1[5] == pytest.approx(1.0)  # the straggler has share 1
+    assert r0[5] == pytest.approx(0.75)
+
+
+def test_rank_rows_empty_for_serial_traces():
+    serial = [e for e in DIST_EVENTS if "rank" not in e]
+    assert rank_rows(serial) == []
+
+
+def test_warnings_of():
+    (warn,) = warnings_of(DIST_EVENTS)
+    assert warn["name"] == "degraded"
+    assert warn["attrs"]["path"] == "dist_retry"
+
+
+def test_render_report_sections():
+    text = render_report(DIST_EVENTS, source="synthetic.jsonl")
+    assert "trace: 8 events from synthetic.jsonl (engine: dist)" in text
+    assert "phases: index_build 0.5000s  peel 1.0000s" in text
+    assert "warnings (1):" in text
+    assert "path=dist_retry" in text
+    assert "per-level timeline" in text
+    assert "per-rank skew" in text
+    assert "repairs" not in text  # no repair spans in this trace
+
+
+def test_render_report_stream_repairs():
+    events = [
+        {"ts": 0.0, "kind": "event", "name": "run_start",
+         "attrs": {"engine": "stream"}},
+        {"ts": 0.1, "kind": "span", "name": "repair", "dur": 0.02,
+         "attrs": {"updates": 2, "region": 9, "frozen": 3,
+                   "triangles": 4, "truncated": False}},
+        {"ts": 0.2, "kind": "span", "name": "repair", "dur": 0.5,
+         "attrs": {"updates": 64, "region": 900, "frozen": 0,
+                   "triangles": 0, "truncated": True}},
+    ]
+    text = render_report(events)
+    assert "repairs (stream):" in text
+    assert "True" in text and "False" in text
+
+
+def test_render_report_empty_trace():
+    assert render_report([]).startswith("trace: 0 events")
+
+
+# -------------------------------------------------------------- load_trace
+def test_load_trace_round_trip(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text(
+        "\n".join(json.dumps(e) for e in DIST_EVENTS) + "\n\n",
+        encoding="utf-8",
+    )
+    events = load_trace(path)
+    assert events == DIST_EVENTS
+    assert "per-rank skew" in render_trace_report(path)
+
+
+def test_load_trace_names_bad_json_line(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"ts": 0, "kind": "event", "name": "a"}\nnot json\n')
+    with pytest.raises(ValueError, match=r"bad\.jsonl:2: not JSON"):
+        load_trace(path)
+
+
+def test_load_trace_names_schema_violation_line(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(
+        '{"ts": 0, "kind": "event", "name": "a"}\n'
+        '{"ts": 0, "kind": "span", "name": "wave"}\n'
+    )
+    with pytest.raises(ValueError, match=r"bad\.jsonl:2: .*dur"):
+        load_trace(path)

@@ -1,0 +1,61 @@
+"""The one trace-event schema: accept/reject cases, stdlib-only."""
+
+import pytest
+
+from repro.obs import TRACE_SCHEMA_VERSION, validate_event
+
+
+def _span(**over):
+    base = {"ts": 0.5, "kind": "span", "name": "wave", "dur": 0.01}
+    base.update(over)
+    return base
+
+
+def _event(**over):
+    base = {"ts": 0.0, "kind": "event", "name": "run_start"}
+    base.update(over)
+    return base
+
+
+def test_schema_version_pinned():
+    assert TRACE_SCHEMA_VERSION == 1
+
+
+@pytest.mark.parametrize("obj", [
+    _span(),
+    _span(attrs={"k": 3, "frontier": 10, "engine": "flat"}),
+    _span(rank=0),
+    _span(rank=3, level="info"),
+    _event(),
+    _event(level="warning", attrs={"path": "stdlib_fallback"}),
+    _event(attrs={"x": None, "y": True, "z": 1.5}),
+    _span(ts=0, dur=0),  # ints where numbers are allowed
+])
+def test_valid_events(obj):
+    validate_event(obj)
+
+
+@pytest.mark.parametrize("obj,needle", [
+    ("not a dict", "object"),
+    (_span(extra_key=1), "unknown event keys"),
+    (_span(ts=-0.1), "ts"),
+    (_span(ts=True), "ts"),
+    (_span(ts=None), "ts"),
+    (_event(kind="metric"), "kind"),
+    (_span(name=""), "name"),
+    (_span(name=7), "name"),
+    (_span(dur=None), "dur"),
+    (_span(dur=-1.0), "dur"),
+    (_span(dur=True), "dur"),
+    (_event(dur=0.1), "must not carry dur"),
+    (_span(level="debug"), "level"),
+    (_span(rank=-1), "rank"),
+    (_span(rank=1.5), "rank"),
+    (_span(rank=True), "rank"),
+    (_span(attrs=[1, 2]), "attrs"),
+    (_span(attrs={"nested": {"a": 1}}), "scalar"),
+    (_span(attrs={"listy": [1]}), "scalar"),
+])
+def test_invalid_events(obj, needle):
+    with pytest.raises(ValueError, match=needle):
+        validate_event(obj)

@@ -1,0 +1,176 @@
+"""Tracer and NullTracer behavior, stdlib-only."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import NULL_TRACER, NullTracer, Tracer, open_tracer, validate_event
+
+
+def _parse(text):
+    events = [json.loads(line) for line in text.splitlines() if line]
+    for e in events:
+        validate_event(e)
+    return events
+
+
+# ------------------------------------------------------------- NullTracer
+def test_null_tracer_is_disabled_and_inert():
+    tr = NULL_TRACER
+    assert tr.enabled is False
+    assert tr.now() == 0.0
+    tr.event("run_start", engine="flat")
+    tr.warn("degraded", path="x")
+    tr.complete_span("peel", 0.1, engine="flat")
+    tr.absorb([{"ts": 0, "kind": "event", "name": "x"}], rank=1)
+    assert tr.drain() == []
+    tr.flush()
+    tr.close()
+    with NullTracer() as inner:
+        assert inner.enabled is False
+
+
+def test_null_tracer_has_no_span_method():
+    # engines must guard span emission with `if tracer.enabled:` and use
+    # complete_span — the context-manager form would allocate on the
+    # hot path even when tracing is off, so the null tracer refuses it
+    assert not hasattr(NULL_TRACER, "span")
+
+
+def test_null_tracer_allocates_nothing():
+    assert NullTracer.__slots__ == ()
+
+
+# ----------------------------------------------------------------- Tracer
+def test_event_and_span_records():
+    buf = io.StringIO()
+    with Tracer(buf) as tr:
+        assert tr.enabled is True
+        tr.event("run_start", engine="flat", m=10)
+        tr.warn("degraded", path="stdlib_fallback")
+        tr.complete_span("peel", 0.25, engine="flat")
+    events = _parse(buf.getvalue())
+    assert [e["name"] for e in events] == ["run_start", "degraded", "peel"]
+    assert events[0]["kind"] == "event"
+    assert events[0]["attrs"] == {"engine": "flat", "m": 10}
+    assert "level" not in events[0]  # info is the implied default
+    assert events[1]["level"] == "warning"
+    span = events[2]
+    assert span["kind"] == "span"
+    assert span["dur"] == pytest.approx(0.25)
+    # a complete_span backdates its start so ts + dur == emission time
+    assert span["ts"] >= 0
+
+
+def test_now_is_monotonic_from_construction():
+    tr = Tracer(sink=None)
+    a = tr.now()
+    b = tr.now()
+    assert 0 <= a <= b
+
+
+def test_span_context_manager_times_body():
+    tr = Tracer(sink=None)
+    with tr.span("index_build", storage="ram"):
+        pass
+    (event,) = tr.drain()
+    validate_event(event)
+    assert event["name"] == "index_build"
+    assert event["kind"] == "span"
+    assert event["dur"] >= 0
+    assert event["attrs"] == {"storage": "ram"}
+
+
+def test_complete_span_clamps_negative_inputs():
+    tr = Tracer(sink=None)
+    tr.complete_span("peel", -1.0)
+    (event,) = tr.drain()
+    assert event["dur"] == 0
+    assert event["ts"] >= 0
+
+
+def test_in_memory_drain_clears():
+    tr = Tracer(sink=None)
+    tr.event("a")
+    tr.event("b")
+    first = tr.drain()
+    assert [e["name"] for e in first] == ["a", "b"]
+    assert tr.drain() == []
+    tr.event("c")
+    assert [e["name"] for e in tr.drain()] == ["c"]
+
+
+def test_file_sink_mode_has_no_drain():
+    buf = io.StringIO()
+    tr = Tracer(buf)
+    tr.event("a")
+    assert tr.drain() == []  # drain is the in-memory accessor only
+    tr.flush()
+    assert _parse(buf.getvalue())[0]["name"] == "a"
+
+
+def test_flush_every_batches_writes():
+    buf = io.StringIO()
+    tr = Tracer(buf, flush_every=3)
+    tr.event("a")
+    tr.event("b")
+    assert buf.getvalue() == ""  # buffered below the threshold
+    tr.event("c")
+    assert len(_parse(buf.getvalue())) == 3  # threshold crossed
+    tr.close()
+
+
+def test_path_sink_owned_and_closed(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tr = Tracer(str(path))
+    tr.event("run_start", engine="flat")
+    tr.complete_span("peel", 0.01)
+    tr.close()
+    events = _parse(path.read_text())
+    assert [e["name"] for e in events] == ["run_start", "peel"]
+    tr.close()  # idempotent
+
+
+def test_absorb_tags_rank_and_preserves_order():
+    tr = Tracer(sink=None)
+    rank_stream = [
+        {"ts": 0.1, "kind": "span", "name": "wave", "dur": 0.01},
+        {"ts": 0.2, "kind": "event", "name": "checkpoint"},
+    ]
+    tr.absorb(rank_stream, rank=1)
+    tr.absorb([{"ts": 0.0, "kind": "event", "name": "x"}])
+    events = tr.drain()
+    assert [e.get("rank") for e in events] == [1, 1, None]
+    for e in events:
+        validate_event(e)
+    # absorb copies: the caller's records are not mutated in place
+    assert "rank" not in rank_stream[0]
+
+
+# ------------------------------------------------------------ open_tracer
+def test_open_tracer_default_is_null():
+    tr, owned = open_tracer()
+    assert tr is NULL_TRACER
+    assert owned is False
+
+
+def test_open_tracer_borrows_ready_tracer():
+    mine = Tracer(sink=None)
+    tr, owned = open_tracer(trace=mine)
+    assert tr is mine
+    assert owned is False
+
+
+def test_open_tracer_owns_path(tmp_path):
+    path = tmp_path / "t.jsonl"
+    tr, owned = open_tracer(trace_path=str(path))
+    assert owned is True
+    tr.event("run_start")
+    tr.close()
+    assert _parse(path.read_text())[0]["name"] == "run_start"
+
+
+def test_open_tracer_rejects_both():
+    with pytest.raises(ValueError, match="not both"):
+        open_tracer(trace=Tracer(sink=None), trace_path="/tmp/x.jsonl")
