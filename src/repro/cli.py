@@ -6,7 +6,10 @@ Commands:
   writing ``u v phi`` lines (or a summary);
 * ``update``    — decompose once, then stream ``+ u v``/``- u v``
   edge updates through the incremental maintainer (:mod:`repro.stream`),
-  repairing only the bounded affected region per batch;
+  repairing only the bounded affected region per batch (pass ``-`` as
+  the updates file to read the stream from stdin);
+* ``serve``     — run the long-lived truss query server
+  (:mod:`repro.serve`);
 * ``ktruss``    — extract one k-truss as an edge list;
 * ``stats``     — graph statistics (the Table 2 row for your file);
 * ``hierarchy`` — the truss fingerprint profile;
@@ -49,6 +52,35 @@ per-phase / per-level / per-rank timeline::
 
 Tracing is off by default and the engines pay only a boolean check
 per wave when it stays off.
+
+Running the server
+------------------
+
+``serve`` turns the decomposition into a long-running service::
+
+    repro serve graph.txt --data /var/lib/truss --port 8080 --workers 4
+
+On first start it decomposes ``GRAPH`` once; afterwards the data
+directory alone is enough (``repro serve --data /var/lib/truss``) —
+recovery loads the newest valid snapshot generation and replays the
+write-ahead-log tail, reconverging bit-identically to the state every
+acknowledged write promised.  Reads (``GET /edge/{u}/{v}/trussness``,
+``GET /community/{v}?k=K``, ``GET /dump``) are answered from immutable
+published views — and keep being answered, marked ``X-Repro-Stale``,
+while a repair is in flight.  Writes (``POST /edges``, ``DELETE
+/edges``, bulk ``POST /updates`` in the ``'+ u v'`` stream format) are
+fsynced into the WAL *before* they are acknowledged, applied through
+the incremental maintainer, and published as a new snapshot
+generation.  ``--deadline-ms`` bounds every request (504 past the
+deadline), ``--queue-depth``/``--max-inflight`` bound admission (503 +
+``Retry-After`` under flood), ``--snapshot-every`` trades publish
+frequency against write throughput, and ``--workers N`` forks N HTTP
+worker processes sharing one listening socket.  ``GET /healthz``,
+``/readyz`` and ``/metrics`` (Prometheus text) are always admitted;
+``--trace FILE`` records one ``request`` span per request, rendered by
+``repro trace-report`` as a server latency timeline.  Ctrl-C tears the
+whole topology down: workers reaped, WAL fsynced and closed, scratch
+directories removed.
 """
 
 from __future__ import annotations
@@ -188,44 +220,21 @@ def cmd_decompose(args: argparse.Namespace) -> int:
     return 0
 
 
-def _read_updates(path: str) -> List[tuple]:
-    """Parse an update-stream file: ``+ u v`` / ``- u v`` lines.
-
-    Blank lines and ``#`` comments are skipped; anything else is a
-    format error (raised as ``ValueError`` naming the line).
-    """
-    ops = {"+": "insert", "-": "delete"}
-    updates: List[tuple] = []
-    with open(path) as fh:
-        for lineno, line in enumerate(fh, 1):
-            parts = line.split()
-            if not parts or parts[0].startswith("#"):
-                continue
-            if len(parts) < 3 or parts[0] not in ops:
-                raise ValueError(
-                    f"{path}:{lineno}: expected '+ u v' or '- u v', "
-                    f"got {line.strip()!r}"
-                )
-            try:
-                u, v = int(parts[1]), int(parts[2])
-            except ValueError:
-                raise ValueError(
-                    f"{path}:{lineno}: non-integer vertex id in "
-                    f"{line.strip()!r}"
-                ) from None
-            updates.append((ops[parts[0]], u, v))
-    return updates
-
-
 def cmd_update(args: argparse.Namespace) -> int:
     from repro.obs import open_tracer
     from repro.stream import TrussMaintainer
+    from repro.stream.updates import read_update_stream
 
     if args.batch < 1:
         print(f"error: --batch must be >= 1 (got {args.batch})", file=sys.stderr)
         return 2
     try:
-        updates = _read_updates(args.updates)
+        # one parser for the CLI, the server's bulk endpoint and the
+        # WAL (repro.stream.updates); '-' reads the stream from stdin
+        updates = read_update_stream(args.updates)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -267,6 +276,34 @@ def cmd_update(args: argparse.Namespace) -> int:
         f"kmax={td.kmax} time={elapsed:.2f}s",
         file=sys.stderr,
     )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import ServeConfig, run_server
+    from repro.serve.service import ServeError
+
+    cfg = ServeConfig(
+        data_dir=args.data,
+        graph=args.graph,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        snapshot_every=args.snapshot_every,
+        deadline_ms=args.deadline_ms,
+        max_inflight=args.max_inflight,
+        client_timeout=args.client_timeout,
+        refresh_ms=args.refresh_ms,
+        kernel=args.kernel,
+        fsync=not args.no_fsync,
+        trace=args.trace,
+    )
+    try:
+        run_server(cfg)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -496,7 +533,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("input", help="edge-list file (u v per line)")
     p.add_argument(
         "updates",
-        help="update-stream file: '+ u v' inserts, '- u v' deletes",
+        help=(
+            "update-stream file: '+ u v' inserts, '- u v' deletes "
+            "('-' reads the stream from stdin)"
+        ),
     )
     p.add_argument("-o", "--output", help="write final 'u v phi' lines here")
     p.add_argument(
@@ -531,6 +571,125 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p.set_defaults(func=cmd_update)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived truss query server",
+        description=(
+            "Serve trussness and community queries over HTTP while "
+            "accepting edge updates, with a survivability contract: "
+            "writes are WAL-logged (fsync) before they are "
+            "acknowledged, state is published as immutable CRC-"
+            "manifested snapshot generations, and a restart after any "
+            "crash replays the WAL tail back to the exact acked state. "
+            "On first start GRAPH seeds the decomposition; later "
+            "restarts need only --data."
+        ),
+    )
+    p.add_argument(
+        "graph",
+        nargs="?",
+        default=None,
+        help=(
+            "edge-list file to seed from (optional once the data "
+            "directory holds a valid snapshot)"
+        ),
+    )
+    p.add_argument(
+        "--data",
+        required=True,
+        metavar="DIR",
+        help="data directory: snapshot generations + write-ahead log",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listening port (default 0: pick a free one, recorded "
+        "in DIR/endpoint.json)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="W",
+        help=(
+            "HTTP worker processes sharing one listening socket "
+            "(default 0: serve in-process); the master stays the "
+            "single writer"
+        ),
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        metavar="N",
+        help="bounded write admission queue; beyond it writes shed "
+        "with 503 (default 16)",
+    )
+    p.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=1,
+        metavar="B",
+        help="publish a snapshot generation every B write batches "
+        "(default 1: every batch)",
+    )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=2000.0,
+        metavar="MS",
+        help="default per-request deadline, overridable per request "
+        "via X-Deadline-Ms (default 2000)",
+    )
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="per-process concurrent request bound; beyond it "
+        "requests shed with 503 (default 64)",
+    )
+    p.add_argument(
+        "--client-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="per-connection socket timeout — slow clients are "
+        "dropped, not accumulated (default 10)",
+    )
+    p.add_argument(
+        "--refresh-ms",
+        type=float,
+        default=50.0,
+        metavar="MS",
+        help="worker read-view refresh throttle under --workers N "
+        "(default 50)",
+    )
+    p.add_argument(
+        "--kernel",
+        default=None,
+        choices=["auto", "python", "numpy", "numba"],
+        help="wave-step backend for the repair peels (default: auto)",
+    )
+    p.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip per-append WAL fsync (benchmarking the durability "
+        "tax only — voids the recovery contract)",
+    )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "record recovery/publish/request spans as JSON-lines here "
+            "(workers append .wN; render with 'repro trace-report')"
+        ),
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "trace-report",

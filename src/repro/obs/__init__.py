@@ -38,6 +38,14 @@ Every engine emits the same catalogue:
     ``frozen``, ``triangles``, ``truncated``.
 ``decompose``
     whole-run span for the non-CSR legacy methods — attrs ``method``.
+``recover`` / ``publish``
+    the truss server's startup recovery (attrs ``gen``, ``replayed``,
+    ``from_snapshot``) and snapshot publication (attrs ``gen``,
+    ``edges``, ``wal_seq``) — see :mod:`repro.serve`.
+``request``
+    one server HTTP request — attrs ``route``, ``status``, ``stale``,
+    ``method``; ``repro trace-report`` aggregates these into the
+    per-route latency table.
 
 **Events** (``kind="event"``, instantaneous):
 
@@ -49,7 +57,8 @@ Every engine emits the same catalogue:
 ``degraded``
     **warning level**: a silent degradation path triggered — attrs
     ``path`` naming it (``stdlib_fallback``, ``kernel_auto_python``,
-    ``stream_full_repeel``, ``dist_retry``, ``dist_fallback_flat``)
+    ``stream_full_repeel``, ``dist_retry``, ``dist_fallback_flat``,
+    ``serve_torn_snapshot``, ``serve_wal_torn``)
     plus context.  Every ``degraded`` event also bumps the
     ``repro_degraded_total{path=...}`` counter, so degraded runs are
     visible in both expositions.

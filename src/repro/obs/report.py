@@ -12,6 +12,9 @@ trace-report`` prints:
 * a **per-rank skew table** when the trace carries dist rank streams —
   per-rank busy time, popped edges and exchanged bytes, plus each
   rank's share of the slowest rank's busy time;
+* a **server latency table** when the trace carries ``request`` spans
+  (``repro serve --trace``) — per-route request counts, error and
+  stale-read shares, and p50/p99 latency;
 * every **warning-level event** (the degradation paths), verbatim.
 
 The renderer only assumes the schema of :mod:`repro.obs.schema`; traces
@@ -27,7 +30,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.obs.schema import validate_event
 
 #: phase spans summed into the breakdown line, in display order
-PHASES = ("index_build", "peel", "repair", "decompose")
+PHASES = ("index_build", "peel", "repair", "decompose", "recover",
+          "publish")
 
 
 def load_trace(path) -> List[dict]:
@@ -137,6 +141,41 @@ def rank_rows(events: Sequence[dict]) -> List[Tuple]:
     ]
 
 
+def request_rows(events: Sequence[dict]) -> List[Tuple]:
+    """Per-route rows from server ``request`` spans.
+
+    Returns ``(route, requests, errors, stale, p50_ms, p99_ms,
+    total_s)`` — errors are responses with status >= 400, stale the
+    reads answered from a view behind the applied WAL seq.  Empty for
+    traces without a server stream.
+    """
+    per_route: Dict[str, Dict] = {}
+    for e in events:
+        if e["kind"] != "span" or e["name"] != "request":
+            continue
+        attrs = e.get("attrs", {})
+        route = str(attrs.get("route", "?"))
+        row = per_route.setdefault(
+            route, {"n": 0, "errors": 0, "stale": 0, "durs": []}
+        )
+        row["n"] += 1
+        if int(attrs.get("status", 0)) >= 400:
+            row["errors"] += 1
+        if attrs.get("stale"):
+            row["stale"] += 1
+        row["durs"].append(float(e["dur"]))
+    out = []
+    for route, row in sorted(per_route.items()):
+        durs = sorted(row["durs"])
+        p50 = durs[len(durs) // 2]
+        p99 = durs[min(len(durs) - 1, int(len(durs) * 0.99))]
+        out.append((
+            route, row["n"], row["errors"], row["stale"],
+            p50 * 1000.0, p99 * 1000.0, sum(durs),
+        ))
+    return out
+
+
 def warnings_of(events: Sequence[dict]) -> List[dict]:
     """Every warning-level event, in trace order."""
     return [e for e in events if e.get("level") == "warning"]
@@ -200,6 +239,15 @@ def render_report(events: Sequence[dict], source: Optional[str] = None) -> str:
         lines.extend(_table(
             ("rank", "waves", "popped", "busy (s)", "bytes", "share"),
             [(r, w, p, b, by, f"{s:.2f}") for r, w, p, b, by, s in ranks],
+        ))
+    requests = request_rows(events)
+    if requests:
+        lines.append("")
+        lines.append("server requests (latency by route):")
+        lines.extend(_table(
+            ("route", "reqs", "errors", "stale", "p50 (ms)", "p99 (ms)",
+             "total (s)"),
+            requests,
         ))
     repairs = [
         e for e in events if e["kind"] == "span" and e["name"] == "repair"

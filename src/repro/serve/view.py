@@ -1,0 +1,227 @@
+"""Immutable read views over a published snapshot generation.
+
+Reads never touch the live maintainer: they run against a
+:class:`ReadView` — a frozen ``phi`` map plus adjacency, stamped with
+the generation and WAL seq it reflects — which is swapped atomically
+(one reference assignment) whenever a newer generation is adopted.
+A repair in flight therefore never blocks a reader; the reader just
+answers from the previous generation and says so
+(``X-Repro-Stale: 1``).
+
+Two adopters of that contract:
+
+* :class:`LocalReader` — the in-process (``--workers 0``) read side:
+  the service hands it a fresh view at every publish;
+* :class:`SnapshotReader` — the worker-process read side: polls the
+  advisory ``HEAD.json`` pointer (cheap, cached for ``head_ttl_ms``)
+  and reloads the newest generation from disk at most every
+  ``refresh_ms`` — the knob trading read staleness against reload
+  work under write load.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.serve.snapshot import (
+    SnapshotError,
+    latest_valid_generation,
+    load_generation,
+    read_head,
+)
+
+Edge = Tuple[int, int]
+
+
+def _canon(u: int, v: int) -> Edge:
+    return (u, v) if u < v else (v, u)
+
+
+class ReadView:
+    """One generation's trussness map, frozen, with query helpers."""
+
+    __slots__ = ("gen", "wal_seq", "phi", "_adj", "_kmax")
+
+    def __init__(self, gen: int, wal_seq: int, phi: Dict[Edge, int]) -> None:
+        self.gen = gen
+        self.wal_seq = wal_seq
+        self.phi = phi
+        adj: Dict[int, List[int]] = {}
+        for a, b in phi:
+            adj.setdefault(a, []).append(b)
+            adj.setdefault(b, []).append(a)
+        for lst in adj.values():
+            lst.sort()
+        self._adj = adj
+        self._kmax = max(phi.values(), default=2)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.phi)
+
+    @property
+    def kmax(self) -> int:
+        return self._kmax
+
+    def lookup(self, u: int, v: int) -> Optional[int]:
+        """Trussness of edge ``(u, v)``, or ``None`` when absent."""
+        return self.phi.get(_canon(int(u), int(v)))
+
+    def has_vertex(self, v: int) -> bool:
+        return v in self._adj
+
+    def community(
+        self, v: int, k: int, max_edges: int = 10_000
+    ) -> Optional[dict]:
+        """The k-truss community containing ``v``: its connected
+        component in the subgraph of edges with ``phi >= k``.
+
+        Returns ``None`` when ``v`` touches no such edge.  The edge
+        list is capped at ``max_edges`` (``truncated`` flags the cap;
+        counts stay exact), so a whole-graph community cannot balloon
+        one response.
+        """
+        v = int(v)
+        if v not in self._adj:
+            return None
+        phi = self.phi
+        seen = {v}
+        frontier = deque([v])
+        vertices = 0
+        edges: List[Tuple[int, int, int]] = []
+        num_edges = 0
+        touched = False
+        while frontier:
+            x = frontier.popleft()
+            vertices += 1
+            for w in self._adj[x]:
+                key = _canon(x, w)
+                kk = phi[key]
+                if kk < k:
+                    continue
+                touched = True
+                if x < w:  # count each qualifying edge exactly once
+                    num_edges += 1
+                    if len(edges) < max_edges:
+                        edges.append((x, w, kk))
+                if w not in seen:
+                    seen.add(w)
+                    frontier.append(w)
+        if not touched:
+            return None
+        return {
+            "vertex": v,
+            "k": k,
+            "num_vertices": vertices,
+            "num_edges": num_edges,
+            "edges": [[a, b, kk] for a, b, kk in sorted(edges)],
+            "truncated": num_edges > len(edges),
+        }
+
+    def dump_lines(self) -> Iterator[str]:
+        """Sorted ``'u v phi'`` lines — byte-identical to the CLI's
+        ``decompose`` output for the same graph (the parity probe)."""
+        for (u, v) in sorted(self.phi):
+            yield f"{u} {v} {self.phi[(u, v)]}"
+
+    def max_k_of_vertex(self, v: int) -> Optional[int]:
+        """The largest k any edge at ``v`` reaches (None: unknown v)."""
+        nbrs = self._adj.get(int(v))
+        if not nbrs:
+            return None
+        phi = self.phi
+        return max(phi[_canon(v, w)] for w in nbrs)
+
+
+#: the view served before any generation loads: answers nothing
+EMPTY_VIEW = ReadView(-1, -1, {})
+
+
+class LocalReader:
+    """Read side of the in-process server: views pushed by the writer."""
+
+    def __init__(self) -> None:
+        self._view = EMPTY_VIEW
+        self._applied_seq = -1
+
+    def publish(self, view: ReadView) -> None:
+        self._view = view  # atomic reference swap under the GIL
+        self._applied_seq = max(self._applied_seq, view.wal_seq)
+
+    def note_applied(self, seq: int) -> None:
+        """A write was applied but not yet published (stale window)."""
+        self._applied_seq = max(self._applied_seq, seq)
+
+    def ready(self) -> bool:
+        return self._view is not EMPTY_VIEW
+
+    def current(self) -> Tuple[ReadView, bool]:
+        """``(view, stale)`` — stale: applied writes it cannot see."""
+        view = self._view
+        return view, self._applied_seq > view.wal_seq
+
+
+class SnapshotReader:
+    """Read side of a worker process: disk generations + HEAD polling."""
+
+    def __init__(
+        self,
+        root,
+        *,
+        refresh_ms: float = 100.0,
+        head_ttl_ms: float = 20.0,
+    ) -> None:
+        self.root = root
+        self._refresh_s = max(refresh_ms, 0.0) / 1000.0
+        self._head_ttl_s = max(head_ttl_ms, 0.0) / 1000.0
+        self._view = EMPTY_VIEW
+        self._head: Optional[dict] = None
+        self._head_at = -1.0
+        self._loaded_at = -1.0
+        self.load_errors = 0
+
+    def _poll_head(self, now: float) -> Optional[dict]:
+        if self._head is None or now - self._head_at >= self._head_ttl_s:
+            self._head = read_head(self.root)
+            self._head_at = now
+        return self._head
+
+    def _load_latest(self) -> None:
+        gen = latest_valid_generation(self.root)
+        if gen is None or gen == self._view.gen:
+            return
+        try:
+            phi, _, wal_seq = load_generation(self.root, gen, want_sup=False)
+        except SnapshotError:
+            # racing a publish or a prune: keep serving the old view
+            self.load_errors += 1
+            return
+        self._view = ReadView(gen, wal_seq, phi)
+
+    def ready(self) -> bool:
+        if self._view is EMPTY_VIEW:
+            self.refresh(force=True)
+        return self._view is not EMPTY_VIEW
+
+    def refresh(self, force: bool = False) -> None:
+        now = time.monotonic()
+        if force:
+            self._load_latest()
+            self._loaded_at = now
+            return
+        head = self._poll_head(now)
+        newer = head is not None and head["gen"] > self._view.gen
+        if newer and now - self._loaded_at >= self._refresh_s:
+            self._load_latest()
+            self._loaded_at = now
+
+    def current(self) -> Tuple[ReadView, bool]:
+        """``(view, stale)`` after an opportunistic refresh."""
+        self.refresh()
+        view = self._view
+        head = self._head
+        stale = head is not None and head["applied_seq"] > view.wal_seq
+        return view, stale

@@ -61,11 +61,23 @@ Guarantees and complexity
 from repro.stream.affected import canon, common_neighbors, expand_region
 from repro.stream.maintainer import TrussMaintainer
 from repro.stream.repeel import repeel_region
+from repro.stream.updates import (
+    Update,
+    format_update,
+    parse_update_line,
+    read_update_lines,
+    read_update_stream,
+)
 
 __all__ = [
     "TrussMaintainer",
+    "Update",
     "canon",
     "common_neighbors",
     "expand_region",
+    "format_update",
+    "parse_update_line",
+    "read_update_lines",
+    "read_update_stream",
     "repeel_region",
 ]

@@ -99,6 +99,48 @@ class TrussMaintainer:
                 lst.sort()
         return cls(adj, phi, sup, kernel=kernel, trace=trace)
 
+    @classmethod
+    def from_state(
+        cls,
+        phi: Mapping[Edge, int],
+        sup: Mapping[Edge, int],
+        kernel: Optional[str] = None,
+        trace=None,
+    ) -> "TrussMaintainer":
+        """Rebuild a maintainer from snapshotted phi/support maps.
+
+        The inverse of persisting :attr:`trussness`/:attr:`supports`
+        (what :mod:`repro.serve.snapshot` generations hold): adjacency
+        is exactly the canonical edge key set, so no decomposition runs
+        — restart costs O(m) dict rebuilds, not a re-peel.  The two
+        maps must cover the same edges (any consistent maintainer's
+        do); the further-update behaviour is bit-identical to a
+        maintainer that never round-tripped, pinned by the snapshot
+        tests.
+        """
+        if set(phi) != set(sup):
+            raise DecompositionError(
+                "phi and sup must cover the same canonical edges "
+                f"({len(phi)} vs {len(sup)})"
+            )
+        adj: Dict[int, List[int]] = {}
+        for a, b in phi:
+            if not (isinstance(a, int) and isinstance(b, int) and a < b):
+                raise DecompositionError(
+                    f"non-canonical edge key in snapshot state: {(a, b)!r}"
+                )
+            adj.setdefault(a, []).append(b)
+            adj.setdefault(b, []).append(a)
+        for lst in adj.values():
+            lst.sort()
+        return cls(
+            adj,
+            {e: int(k) for e, k in phi.items()},
+            {e: int(s) for e, s in sup.items()},
+            kernel=kernel,
+            trace=trace,
+        )
+
     # ------------------------------------------------------------- views
     @property
     def trussness(self) -> Mapping[Edge, int]:

@@ -11,8 +11,24 @@ from repro.obs.report import (
     rank_rows,
     render_report,
     render_trace_report,
+    request_rows,
     warnings_of,
 )
+
+#: a server-shaped trace: per-request spans across two routes
+SERVE_EVENTS = [
+    {"ts": 0.0, "kind": "span", "name": "recover", "dur": 0.2,
+     "attrs": {"gen": 0, "replayed": 3, "from_snapshot": True}},
+    {"ts": 0.3, "kind": "span", "name": "request", "dur": 0.004,
+     "attrs": {"route": "/edge/{u}/{v}/trussness", "status": 200,
+               "stale": False, "method": "GET"}},
+    {"ts": 0.4, "kind": "span", "name": "request", "dur": 0.010,
+     "attrs": {"route": "/edge/{u}/{v}/trussness", "status": 404,
+               "stale": True, "method": "GET"}},
+    {"ts": 0.5, "kind": "span", "name": "request", "dur": 0.050,
+     "attrs": {"route": "/updates", "status": 200, "stale": False,
+               "method": "POST"}},
+]
 
 #: a hand-built dist-shaped trace: driver spans, two rank streams, one
 #: degradation warning — every renderer section lights up
@@ -68,6 +84,24 @@ def test_rank_rows_share_of_slowest():
 def test_rank_rows_empty_for_serial_traces():
     serial = [e for e in DIST_EVENTS if "rank" not in e]
     assert rank_rows(serial) == []
+
+
+def test_request_rows_aggregate_by_route():
+    rows = request_rows(SERVE_EVENTS)
+    assert [r[0] for r in rows] == ["/edge/{u}/{v}/trussness", "/updates"]
+    edge = rows[0]
+    assert edge[1] == 2  # requests
+    assert edge[2] == 1  # the 404
+    assert edge[3] == 1  # the stale read
+    assert edge[5] == pytest.approx(10.0)  # p99 ms
+    assert request_rows(DIST_EVENTS) == []  # engine traces: no table
+
+
+def test_render_report_server_requests():
+    report = render_report(SERVE_EVENTS)
+    assert "server requests (latency by route):" in report
+    assert "/updates" in report
+    assert "recover" in report  # the recovery span lands in phases
 
 
 def test_warnings_of():

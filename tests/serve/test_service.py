@@ -1,0 +1,191 @@
+"""``TrussService``: the write path, recovery, deadlines, backpressure."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core import truss_decomposition
+from repro.graph import Graph, write_edge_list
+from repro.obs import Tracer
+from repro.serve.chaos import tear_snapshot, tear_wal_tail
+from repro.serve.service import (
+    DeadlineExpiredError,
+    NotReadyError,
+    OverloadedError,
+    ServeError,
+    TrussService,
+)
+
+EDGES = [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (0, 3),
+         (4, 5), (4, 6), (5, 6), (3, 4)]
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g.txt"
+    write_edge_list(Graph(EDGES), path)
+    return path
+
+
+def _service(tmp_path, graph=None, **kw):
+    kw.setdefault("kernel", "python")
+    return TrussService(tmp_path / "data", graph, **kw)
+
+
+def _flat_phi(edges):
+    return dict(
+        truss_decomposition(Graph(sorted(edges)), method="flat",
+                            kernel="python").trussness
+    )
+
+
+class TestLifecycle:
+    def test_seed_write_publish(self, tmp_path, graph_file):
+        with _service(tmp_path, graph_file) as svc:
+            assert svc.ready
+            view, stale = svc.reader.current()
+            assert view.num_edges == len(EDGES) and not stale
+            applied, seq, gen = svc.apply_write(
+                [("insert", 5, 7), ("insert", 6, 7)]
+            )
+            assert (applied, seq) == (2, 2)
+            view, _ = svc.reader.current()
+            assert view.gen == gen
+            assert view.lookup(5, 7) == 3
+        assert not svc.ready  # closed
+
+    def test_no_snapshot_and_no_graph_raises(self, tmp_path):
+        svc = _service(tmp_path, None)
+        with pytest.raises(ServeError):
+            svc.open()
+
+    def test_not_ready_before_open(self, tmp_path, graph_file):
+        svc = _service(tmp_path, graph_file)
+        with pytest.raises(NotReadyError):
+            svc.apply_write([("insert", 9, 10)])
+
+    def test_close_is_idempotent(self, tmp_path, graph_file):
+        svc = _service(tmp_path, graph_file)
+        svc.open()
+        svc.close()
+        svc.close()
+
+
+class TestRecovery:
+    def test_restart_replays_wal_tail(self, tmp_path, graph_file):
+        with _service(tmp_path, graph_file, snapshot_every=100) as svc:
+            svc.apply_write([("insert", 5, 7)])
+            svc.apply_write([("insert", 6, 7), ("delete", 3, 4)])
+            expect = dict(svc.maintainer.trussness)
+            # simulate a crash: the WAL has the writes, no publish ran
+            svc._wal.close()
+        svc2 = _service(tmp_path, None)
+        svc2.open()
+        assert dict(svc2.maintainer.trussness) == expect
+        assert svc2.applied_seq == 3
+        svc2.close()
+
+    def test_torn_newest_snapshot_falls_back(self, tmp_path, graph_file):
+        with _service(tmp_path, graph_file) as svc:
+            svc.apply_write([("insert", 5, 7)])
+            svc.apply_write([("insert", 6, 7)])
+            expect = dict(svc.maintainer.trussness)
+        tear_snapshot(tmp_path / "data" / "snapshots", mode="truncate")
+        svc2 = _service(tmp_path, None)
+        svc2.open()
+        # prior generation + WAL tail reconverges to the same state
+        assert dict(svc2.maintainer.trussness) == expect
+        assert "serve_torn_snapshot" in svc2.registry.to_prometheus()
+        svc2.close()
+
+    def test_torn_wal_tail_is_truncated_and_counted(self, tmp_path,
+                                                    graph_file):
+        with _service(tmp_path, graph_file, snapshot_every=100) as svc:
+            svc.apply_write([("insert", 5, 7)])
+            expect = dict(svc.maintainer.trussness)
+            svc._wal.close()
+        tear_wal_tail(tmp_path / "data" / "wal")
+        svc2 = _service(tmp_path, None)
+        svc2.open()
+        assert dict(svc2.maintainer.trussness) == expect
+        assert "serve_wal_torn" in svc2.registry.to_prometheus()
+        svc2.close()
+
+    def test_recovered_state_matches_flat(self, tmp_path, graph_file):
+        updates = [("insert", 5, 7), ("insert", 6, 7), ("delete", 0, 3)]
+        with _service(tmp_path, graph_file, snapshot_every=2) as svc:
+            for upd in updates:
+                svc.apply_write([upd])
+        svc2 = _service(tmp_path, None)
+        svc2.open()
+        edges = set(EDGES) | {(5, 7), (6, 7)}
+        edges.discard((0, 3))
+        assert dict(svc2.maintainer.trussness) == _flat_phi(edges)
+        svc2.close()
+
+    def test_recover_span_emitted(self, tmp_path, graph_file):
+        tracer = Tracer(sink=None)
+        svc = TrussService(tmp_path / "data", graph_file,
+                           kernel="python", tracer=tracer)
+        svc.open()
+        svc.close()
+        names = [e["name"] for e in tracer.drain()]
+        assert "recover" in names and "publish" in names
+
+
+class TestDeadlinesAndBackpressure:
+    def test_expired_deadline_is_rejected_before_logging(
+        self, tmp_path, graph_file
+    ):
+        with _service(tmp_path, graph_file) as svc:
+            wal_before = svc._wal.last_seq
+            with pytest.raises(DeadlineExpiredError):
+                svc.apply_write([("insert", 9, 10)],
+                                deadline=time.monotonic() - 1.0)
+            assert svc._wal.last_seq == wal_before  # nothing durable
+            assert 'reason="deadline"' in svc.registry.to_prometheus()
+
+    def test_queue_full_sheds(self, tmp_path, graph_file, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_APPLY_DELAY_MS", "80")
+        with _service(tmp_path, graph_file, queue_depth=1) as svc:
+            start = threading.Barrier(2)
+            errors = []
+
+            def writer(u):
+                start.wait()
+                try:
+                    svc.apply_write([("insert", u, u + 1)])
+                except OverloadedError as exc:
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=writer, args=(100 + i * 2,))
+                       for i in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            # one admitted (holding the slot through its slow apply),
+            # the other shed with 503
+            assert len(errors) == 1
+            assert 'reason="queue_full"' in svc.registry.to_prometheus()
+
+    def test_snapshot_every_defers_publish(self, tmp_path, graph_file):
+        with _service(tmp_path, graph_file, snapshot_every=3) as svc:
+            gen0 = svc.gen
+            svc.apply_write([("insert", 5, 7)])
+            view, stale = svc.reader.current()
+            assert view.gen == gen0 and stale  # applied but unpublished
+            svc.apply_write([("insert", 6, 7)])
+            svc.apply_write([("insert", 0, 7)])
+            view, stale = svc.reader.current()
+            assert view.gen > gen0 and not stale
+
+    def test_metrics_text_merges_maintainer(self, tmp_path, graph_file):
+        with _service(tmp_path, graph_file) as svc:
+            svc.apply_write([("insert", 5, 7)])
+            text = svc.metrics_text()
+            assert "repro_serve_writes_total" in text
+            assert "repro_repairs_total" in text or "repairs" in text

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import io
+
 import pytest
 
 from repro.cli import main
@@ -65,6 +67,30 @@ class TestUpdate:
         ups = _updates_file(tmp_path, "+ 1 two\n")
         assert main(["update", str(graph_file), str(ups)]) == 2
         assert "non-integer vertex id" in capsys.readouterr().err
+
+    def test_updates_from_stdin(
+        self, graph_file, tmp_path, monkeypatch, capsys
+    ):
+        """``repro update GRAPH -`` reads the update stream from stdin."""
+        monkeypatch.setattr("sys.stdin", io.StringIO("+ 1 10\n+ 2 10\n"))
+        out = tmp_path / "incr.txt"
+        assert main([
+            "update", str(graph_file), "-", "-o", str(out),
+        ]) == 0
+        assert "applied=2" in capsys.readouterr().err
+        ups = _updates_file(tmp_path, "+ 1 10\n+ 2 10\n")
+        ref = tmp_path / "ref.txt"
+        assert main([
+            "update", str(graph_file), str(ups), "-o", str(ref),
+        ]) == 0
+        assert out.read_text() == ref.read_text()
+
+    def test_stdin_malformed_line_is_rejected(
+        self, graph_file, monkeypatch, capsys
+    ):
+        monkeypatch.setattr("sys.stdin", io.StringIO("+ 1 10\nzap\n"))
+        assert main(["update", str(graph_file), "-"]) == 2
+        assert "<stdin>:2" in capsys.readouterr().err
 
     def test_bad_batch_is_rejected(self, graph_file, tmp_path, capsys):
         ups = _updates_file(tmp_path, "+ 1 2\n")
